@@ -1,0 +1,70 @@
+// Command inca-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	inca-experiments            # run every experiment
+//	inca-experiments -fast      # skip the training-based experiments
+//	inca-experiments -only fig11,table5
+//	inca-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/inca-arch/inca/internal/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inca-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fast := fs.Bool("fast", false, "skip experiments that train networks (Table I, Table VI)")
+	only := fs.String("only", "", "comma-separated experiment ids to run (see -list)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range suite.All() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Fprintf(stdout, "%-14s %s%s\n", e.ID, e.Name, heavy)
+		}
+		return 0
+	}
+
+	var selected []suite.Experiment
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := suite.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	} else {
+		for _, e := range suite.All() {
+			if *fast && e.Heavy {
+				continue
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Fprintf(stdout, "=== %s ===\n", e.Name)
+		fmt.Fprintln(stdout, e.Run())
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fig11", "table5", "ext-endurance", "(heavy)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "table5, fig7b"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table V") || !strings.Contains(out.String(), "Fig 7b") {
+		t.Fatalf("missing selected experiments:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr = %s", errOut.String())
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

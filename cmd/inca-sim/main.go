@@ -1,0 +1,133 @@
+// Command inca-sim runs a single accelerator simulation and prints the
+// energy/latency report with its component breakdown and (optionally) the
+// per-layer detail, schedule, placement, and a CSV trace.
+//
+// Usage:
+//
+//	inca-sim -model VGG16 -arch inca -phase training -batch 64 -layers
+//	inca-sim -model MobileNetV2 -arch baseline -timeline
+//	inca-sim -model ResNet18 -arch gpu
+//	inca-sim -model LeNet5 -placement -csv trace.csv
+//	inca-sim -model VGG16 -config my-accelerator.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/inca-arch/inca"
+	"github.com/inca-arch/inca/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inca-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "ResNet18", "network: VGG16, VGG19, ResNet18, ResNet50, MobileNetV2, MNasNet, AlexNet, VGG16-CIFAR, ResNet18-CIFAR, LeNet5")
+	archName := fs.String("arch", "inca", "architecture: inca, baseline, gpu")
+	phaseName := fs.String("phase", "inference", "phase: inference, training")
+	batch := fs.Int("batch", 64, "batch size")
+	layers := fs.Bool("layers", false, "print per-layer results")
+	timeline := fs.Bool("timeline", false, "print an ASCII Gantt of the layer schedule")
+	placement := fs.Bool("placement", false, "print the layer-to-macro placement (inca arch only)")
+	csvPath := fs.String("csv", "", "write the per-layer trace to this CSV file")
+	configPath := fs.String("config", "", "load a custom accelerator configuration (JSON) instead of -arch defaults")
+	summary := fs.Bool("summary", false, "print the network's layer table and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	net, err := inca.Model(*model)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *summary {
+		fmt.Fprint(stdout, net.Summary())
+		return 0
+	}
+
+	phase := inca.Inference
+	switch *phaseName {
+	case "inference":
+	case "training":
+		phase = inca.Training
+	default:
+		fmt.Fprintf(stderr, "unknown phase %q\n", *phaseName)
+		return 2
+	}
+
+	var m inca.Machine
+	var cfg inca.Config
+	switch *archName {
+	case "inca":
+		cfg = inca.DefaultINCA()
+	case "baseline":
+		cfg = inca.DefaultBaseline()
+	case "gpu":
+		m = inca.NewGPU()
+	default:
+		fmt.Fprintf(stderr, "unknown arch %q\n", *archName)
+		return 2
+	}
+	if *configPath != "" {
+		loaded, err := inca.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		cfg = loaded
+	}
+	if m == nil {
+		cfg.BatchSize = *batch
+		if *archName == "baseline" {
+			m = inca.NewBaseline(cfg)
+		} else {
+			m = inca.NewINCA(cfg)
+		}
+	}
+
+	rep := m.Simulate(net, phase)
+	fmt.Fprintln(stdout, rep)
+	fmt.Fprintf(stdout, "  energy/image: %s\n", metrics.FormatEnergy(rep.EnergyPerImage()))
+	fmt.Fprintf(stdout, "  throughput:   %.1f images/s\n", rep.Throughput())
+	fmt.Fprintf(stdout, "  breakdown:    %s\n", rep.Total.Energy)
+
+	if *layers {
+		fmt.Fprintln(stdout, "  per-layer:")
+		for _, lr := range rep.Layers {
+			fmt.Fprintf(stdout, "    %-28s %-10s %-10s util %.2f\n",
+				lr.Layer.String(),
+				metrics.FormatEnergy(lr.Result.Energy.Total()),
+				metrics.FormatTime(lr.Result.Latency),
+				lr.Utilization)
+		}
+	}
+	if *timeline {
+		fmt.Fprintln(stdout, "  schedule:")
+		fmt.Fprint(stdout, inca.Timeline(rep, 6, 100))
+	}
+	if *placement && *archName == "inca" {
+		fmt.Fprint(stdout, inca.PlaceNetwork(cfg, net))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := rep.WriteCSV(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "  trace written to %s\n", *csvPath)
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/inca-arch/inca"
+)
+
+func TestBasicRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-model", "LeNet5", "-arch", "inca", "-layers", "-timeline"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"INCA LeNet5", "energy/image", "per-layer", "makespan"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPlacementAndCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "trace.csv")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-model", "LeNet5", "-placement", "-csv", csvPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "placement:") {
+		t.Error("missing placement summary")
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "TOTAL") {
+		t.Error("CSV missing TOTAL row")
+	}
+}
+
+func TestGPUAndTraining(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", "ResNet18", "-arch", "gpu", "-phase", "training"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "TitanRTX") {
+		t.Error("missing GPU report")
+	}
+}
+
+func TestCustomConfig(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	cfg := inca.DefaultINCA()
+	cfg.Name = "MyINCA"
+	if err := cfg.Save(cfgPath); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", "LeNet5", "-config", cfgPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "MyINCA") {
+		t.Errorf("custom config name not used:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "NoSuchNet"},
+		{"-arch", "tpu"},
+		{"-phase", "sideways"},
+		{"-config", "/nonexistent/cfg.json"},
+		{"-bogus"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestSummaryFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", "AlexNet", "-summary"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "AlexNet") || !strings.Contains(out.String(), "total:") {
+		t.Fatalf("summary output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,74 @@
+// Command inca-train runs the accuracy experiments (paper Tables I and
+// VI) on the synthetic dataset: device-noise robustness of weights versus
+// activations, and post-training bit-depth sensitivity.
+//
+// Usage:
+//
+//	inca-train                       # both experiments at default scale
+//	inca-train -exp noise -epochs 10 -repeats 3
+//	inca-train -exp bits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/inca-arch/inca"
+	"github.com/inca-arch/inca/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inca-train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: noise, bits, all")
+	epochs := fs.Int("epochs", 0, "override noise fine-tuning epochs (0 = default)")
+	perClass := fs.Int("per-class", 0, "override samples per class (0 = default)")
+	repeats := fs.Int("repeats", 0, "average noise rows over this many seeds (0 = single run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := inca.DefaultExperimentConfig()
+	if *epochs > 0 {
+		cfg.NoiseEpochs = *epochs
+	}
+	if *perClass > 0 {
+		cfg.Data.PerClass = *perClass
+	}
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+
+	runNoise := *exp == "noise" || *exp == "all"
+	runBits := *exp == "bits" || *exp == "all"
+	if !runNoise && !runBits {
+		fmt.Fprintf(stderr, "unknown experiment %q\n", *exp)
+		return 2
+	}
+
+	if runNoise {
+		rows := inca.NoiseAccuracy(cfg, []float64{0.005, 0.01, 0.02, 0.03, 0.05})
+		t := report.New("Table VI: training accuracy (%) vs noise strength",
+			"sigma", "weights (WS)", "activations (IS)", "clean")
+		for _, r := range rows {
+			t.AddRow(r.Sigma, r.WeightNoise, r.ActivationAcc, r.BaselineNoNoise)
+		}
+		fmt.Fprintln(stdout, t)
+	}
+	if runBits {
+		rows := inca.BitDepthAccuracy(cfg, []int{7, 6, 5, 4, 3, 2})
+		t := report.New("Table I: accuracy drop vs bit depth (points)",
+			"bits", "8b-wt + act@bits", "8b-act + wt@bits")
+		for _, r := range rows {
+			t.AddRow(r.Bits, r.ActQuantDrop, r.WeightQuantDrop)
+		}
+		fmt.Fprintln(stdout, t)
+	}
+	return 0
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBitsExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// Small dataset to keep the test quick.
+	code := run([]string{"-exp", "bits", "-per-class", "16"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table I") {
+		t.Fatalf("missing Table I output:\n%s", out.String())
+	}
+}
+
+func TestNoiseExperimentSmall(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "noise", "-per-class", "12", "-epochs", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table VI") {
+		t.Fatalf("missing Table VI output:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

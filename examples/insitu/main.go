@@ -1,0 +1,75 @@
+// Insitu: train a CNN *through the RRAM array models themselves* — the
+// paper's §IV.C dataflow executed functionally. Every convolution runs as
+// direct convolution on 2T1R planes, FC layers run on channel-folded
+// planes, ReLU gradients are AND gates, max pooling restores positions via
+// its LUT, errors overwrite the activation cells, and updated weights go
+// back to ordinary memory.
+//
+//	go run ./examples/insitu
+package main
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca"
+)
+
+func main() {
+	cfg := inca.DefaultDataConfig()
+	cfg.H, cfg.W = 12, 12
+	cfg.Classes = 4
+	cfg.PerClass = 40
+	ds := inca.SyntheticDataset(cfg)
+	trainSet, testSet := ds.Split(0.25)
+
+	net := inca.NewClassifier(99, 1, cfg.H, cfg.W, cfg.Classes)
+	machine := inca.NewInSitu(inca.InSituOptions{})
+
+	fmt.Println("training entirely on the 2T1R array models...")
+	for epoch := 1; epoch <= 5; epoch++ {
+		loss := 0.0
+		for _, s := range trainSet.Samples {
+			loss += machine.TrainStep(net, s.Image, s.Label, 0.03)
+		}
+		fmt.Printf("epoch %d: loss %.3f, accuracy %.1f%%\n",
+			epoch, loss/float64(trainSet.Len()), inca.ClassifierAccuracy(net, testSet))
+	}
+
+	st := machine.Stats()
+	fmt.Printf("\ndevice events: %d cell reads, %d cell writes, %d analog outputs\n",
+		st.CellReads, st.CellWrites, st.Outputs)
+
+	// The same network evaluated with realistic device effects.
+	quantized := inca.NewInSitu(inca.InSituOptions{WeightBits: 8, ActivationBits: 8, ADCBits: 4})
+	correct := 0
+	for _, s := range testSet.Samples {
+		out := quantized.Forward(net, s.Image)
+		best, bestV := 0, out.At(0)
+		for i := 1; i < out.Len(); i++ {
+			if out.At(i) > bestV {
+				best, bestV = i, out.At(i)
+			}
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	fmt.Printf("accuracy with 8-bit operands + 4-bit ADC: %.1f%%\n",
+		100*float64(correct)/float64(testSet.Len()))
+
+	// Endurance outlook (§VI): how long do the activation cells last?
+	rep := inca.NewINCA(inca.DefaultINCA()).Simulate(mustModel("ResNet18"), inca.Training)
+	for _, dev := range inca.DeviceCandidates() {
+		p := inca.AnalyzeEndurance("INCA", inca.Training, dev, rep.Total.Latency)
+		fmt.Printf("lifetime on %-18s %8.1f years of continuous training\n",
+			dev.Name+":", p.LifetimeYears())
+	}
+}
+
+func mustModel(name string) *inca.Network {
+	n, err := inca.Model(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate one CNN on the INCA input-stationary accelerator
+// and compare it against the weight-stationary baseline and the GPU.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/inca-arch/inca"
+)
+
+func main() {
+	net, err := inca.Model("ResNet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	incaMachine := inca.NewINCA(inca.DefaultINCA())
+	baseMachine := inca.NewBaseline(inca.DefaultBaseline())
+	gpuMachine := inca.NewGPU()
+
+	for _, phase := range []inca.Phase{inca.Inference, inca.Training} {
+		fmt.Printf("--- %s on %s (batch 64) ---\n", phase, net.Name)
+		incaRep := incaMachine.Simulate(net, phase)
+		baseRep := baseMachine.Simulate(net, phase)
+		gpuRep := gpuMachine.Simulate(net, phase)
+
+		fmt.Println("INCA:    ", incaRep)
+		fmt.Println("Baseline:", baseRep)
+		fmt.Println("GPU:     ", gpuRep)
+
+		cmp := inca.Compare(incaRep, baseRep)
+		fmt.Printf("INCA vs baseline: %.1fx energy, %.1fx speed, %.0fx perf/W\n",
+			cmp.EnergyRatio, cmp.Speedup, cmp.PerfPerWatt)
+		gcmp := inca.Compare(incaRep, gpuRep)
+		fmt.Printf("INCA vs GPU:      %.1fx energy, %.2fx speed\n\n",
+			gcmp.EnergyRatio, gcmp.Speedup)
+	}
+
+	// The analytical access model behind the comparison (paper Table III).
+	ac := inca.CountAccesses(net, 8, 256)
+	fmt.Printf("Buffer accesses (8-bit/256-bit bus): WS %d, IS %d (%.1fx fewer)\n",
+		ac.Baseline, ac.INCA, ac.Ratio())
+}

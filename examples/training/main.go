@@ -1,0 +1,41 @@
+// Training: end-to-end in-situ training demonstration — train the compact
+// CNN on the synthetic dataset with the engine behind Tables I and VI,
+// then estimate what the same batch workload costs on INCA versus the WS
+// baseline.
+//
+//	go run ./examples/training
+package main
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca"
+)
+
+func main() {
+	cfg := inca.DefaultDataConfig()
+	ds := inca.SyntheticDataset(cfg)
+	trainSet, testSet := ds.Split(0.25)
+
+	net := inca.NewClassifier(42, 1, cfg.H, cfg.W, cfg.Classes)
+	fmt.Printf("dataset: %d train / %d test samples, %d classes\n",
+		trainSet.Len(), testSet.Len(), cfg.Classes)
+	fmt.Printf("accuracy before training: %.1f%%\n", inca.ClassifierAccuracy(net, testSet))
+
+	trainer := &inca.Trainer{Net: net, LR: 0.02}
+	for epoch := 1; epoch <= 8; epoch++ {
+		loss := trainer.Train(trainSet, 1)
+		fmt.Printf("epoch %d: loss %.3f, accuracy %.1f%%\n",
+			epoch, loss, inca.ClassifierAccuracy(net, testSet))
+	}
+
+	// What would a training batch of LeNet5-class work cost in hardware?
+	hwNet, _ := inca.Model("LeNet5")
+	ir := inca.NewINCA(inca.DefaultINCA()).Simulate(hwNet, inca.Training)
+	br := inca.NewBaseline(inca.DefaultBaseline()).Simulate(hwNet, inca.Training)
+	cmp := inca.Compare(ir, br)
+	fmt.Printf("\nhardware estimate for one %s training batch:\n", hwNet.Name)
+	fmt.Println("  INCA:    ", ir)
+	fmt.Println("  baseline:", br)
+	fmt.Printf("  advantage: %.1fx energy, %.1fx speed\n", cmp.EnergyRatio, cmp.Speedup)
+}

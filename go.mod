@@ -1,0 +1,3 @@
+module github.com/inca-arch/inca
+
+go 1.22

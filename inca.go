@@ -1,0 +1,342 @@
+// Package inca is the public API of the INCA reproduction: an
+// input-stationary (IS) RRAM crossbar accelerator simulator with its
+// weight-stationary (WS) baseline, GPU reference model, DNN model zoo,
+// and the accuracy experiments of the paper
+//
+//	"INCA: Input-stationary Dataflow at Outside-the-box Thinking about
+//	 Deep Learning Accelerators", Kim, Li & Li, HPCA 2023.
+//
+// Quickstart:
+//
+//	cfg := inca.DefaultINCA()
+//	machine := inca.NewINCA(cfg)
+//	net, _ := inca.Model("ResNet18")
+//	rep := machine.Simulate(net, inca.Inference)
+//	fmt.Println(rep)
+//
+// Compare against the WS baseline:
+//
+//	base := inca.NewBaseline(inca.DefaultBaseline())
+//	cmp := inca.Compare(rep, base.Simulate(net, inca.Inference))
+//	fmt.Printf("%.1fx energy, %.1fx speed\n", cmp.EnergyRatio, cmp.Speedup)
+package inca
+
+import (
+	"math/rand"
+
+	"github.com/inca-arch/inca/internal/access"
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/baseline"
+	"github.com/inca-arch/inca/internal/core"
+	"github.com/inca-arch/inca/internal/data"
+	"github.com/inca-arch/inca/internal/endure"
+	"github.com/inca-arch/inca/internal/gpu"
+	"github.com/inca-arch/inca/internal/insitu"
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/place"
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/sched"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/tensor"
+	"github.com/inca-arch/inca/internal/train"
+)
+
+// Phase selects inference or training simulation.
+type Phase = sim.Phase
+
+// Simulation phases.
+const (
+	Inference = sim.Inference
+	Training  = sim.Training
+)
+
+// Config is a full accelerator configuration (paper Table II).
+type Config = arch.Config
+
+// DefaultINCA returns the paper's INCA configuration: 16×16×64 3D 2T1R
+// arrays, 4-bit ADCs shared 16-ways, 64 KB buffers, HBM2, batch 64.
+func DefaultINCA() Config { return arch.INCA() }
+
+// DefaultBaseline returns the paper's 2D WS baseline: 128×128 crossbars,
+// 8-bit ADCs, the same memory system.
+func DefaultBaseline() Config { return arch.Baseline() }
+
+// Network is a shape-level DNN description.
+type Network = nn.Network
+
+// Report is a simulated execution result.
+type Report = sim.Report
+
+// Area is a Table V-style area breakdown in mm².
+type Area = metrics.Area
+
+// Model returns a zoo network by name: VGG16, VGG19, ResNet18, ResNet50,
+// MobileNetV2, MNasNet, VGG16-CIFAR, ResNet18-CIFAR, LeNet5.
+func Model(name string) (*Network, error) { return nn.ByName(name) }
+
+// Models returns the six ImageNet networks of the paper's evaluation.
+func Models() []*Network { return nn.PaperModels() }
+
+// Machine simulates a network execution on some architecture.
+type Machine interface {
+	Simulate(net *Network, phase Phase) *Report
+}
+
+// NewINCA builds the input-stationary accelerator simulator.
+func NewINCA(cfg Config) Machine { return core.New(cfg) }
+
+// NewBaseline builds the weight-stationary baseline simulator.
+func NewBaseline(cfg Config) Machine { return baseline.New(cfg) }
+
+// NewGPU builds the Titan RTX roofline model of Fig. 15.
+func NewGPU() Machine { return gpu.New(gpu.TitanRTX()) }
+
+// GPUArea returns the GPU die area (mm²) for iso-area comparisons.
+func GPUArea() float64 { return gpu.TitanRTX().AreaMM2 }
+
+// Comparison summarizes an A-versus-B report pair. EnergyRatio and
+// Speedup are B's cost over A's (>1 means A wins); PerfPerWatt is their
+// product — the throughput-per-watt improvement the paper's Fig. 11
+// reports as "energy efficiency".
+type Comparison struct {
+	EnergyRatio float64
+	Speedup     float64
+	PerfPerWatt float64
+}
+
+// Compare evaluates a against the reference b.
+func Compare(a, b *Report) Comparison {
+	e := a.Total.EnergyEfficiencyVs(b.Total)
+	s := a.Total.SpeedupVs(b.Total)
+	return Comparison{EnergyRatio: e, Speedup: s, PerfPerWatt: e * s}
+}
+
+// AccessCounts returns the Table III buffer-access estimates (Eq. 5/6)
+// for a network at the given precision and bus width.
+type AccessCounts = access.NetworkAccesses
+
+// CountAccesses evaluates both dataflows' analytical access counts.
+func CountAccesses(net *Network, precBits, busBits int64) AccessCounts {
+	return access.CountNetwork(net, precBits, busBits)
+}
+
+// UnrollBlowup quantifies Fig. 7b's unrolled-versus-direct RRAM demand.
+type UnrollBlowup = access.UnrollBlowup
+
+// CountUnroll evaluates the Fig. 7b comparison for a network.
+func CountUnroll(net *Network) UnrollBlowup { return access.CountUnroll(net) }
+
+// Footprint is the Table IV minimum memory requirement (MB) for
+// supporting both inference and training. In WS, RRAM must hold the
+// original weights, their transposed copies, and the activations, while
+// buffers stage the activations; in IS, RRAM holds only the activations
+// (errors overwrite them) and buffers hold the weights.
+type Footprint struct {
+	Network                      string
+	BaselineRRAM, BaselineBuffer float64
+	INCARRAM, INCABuffer         float64
+}
+
+// MemoryFootprint evaluates Table IV's formulas for a network at 8-bit
+// precision.
+func MemoryFootprint(net *Network) Footprint {
+	const mb = 1024 * 1024
+	w := float64(net.TotalWeights()) / mb
+	a := float64(net.TotalActivations()) / mb
+	return Footprint{
+		Network:        net.Name,
+		BaselineRRAM:   2*w + a,
+		BaselineBuffer: a,
+		INCARRAM:       a,
+		INCABuffer:     w,
+	}
+}
+
+// Accuracy experiment re-exports (Tables I and VI).
+type (
+	// ExperimentConfig sizes the accuracy experiments.
+	ExperimentConfig = train.ExperimentConfig
+	// NoiseAccuracyRow is one Table VI row.
+	NoiseAccuracyRow = train.NoiseAccuracyRow
+	// BitDepthRow is one Table I column pair.
+	BitDepthRow = train.BitDepthRow
+)
+
+// DefaultExperimentConfig mirrors the paper's accuracy protocol at the
+// synthetic dataset's scale.
+func DefaultExperimentConfig() ExperimentConfig { return train.DefaultExperimentConfig() }
+
+// NoiseAccuracy reproduces Table VI: training accuracy under device noise
+// of strength σ applied to weights (WS exposure) versus activations (IS
+// exposure).
+func NoiseAccuracy(cfg ExperimentConfig, sigmas []float64) []NoiseAccuracyRow {
+	return train.NoiseAccuracyTable(cfg, sigmas)
+}
+
+// BitDepthAccuracy reproduces Table I: post-training quantization drops
+// with one operand reduced below 8 bits.
+func BitDepthAccuracy(cfg ExperimentConfig, bits []int) []BitDepthRow {
+	return train.BitDepthTable(cfg, bits)
+}
+
+// --- Training engine (the software substrate behind Tables I and VI) ---
+
+type (
+	// Tensor is a dense float64 tensor (row-major).
+	Tensor = tensor.Tensor
+	// Classifier is a trainable layer stack.
+	Classifier = train.Network
+	// Trainer runs per-sample SGD with device-noise injection.
+	Trainer = train.Trainer
+	// Dataset is a labeled image collection.
+	Dataset = data.Dataset
+	// DataConfig controls synthetic dataset generation.
+	DataConfig = data.Config
+	// NoiseModel is the zero-centered device nonideality model.
+	NoiseModel = rram.NoiseModel
+)
+
+// Noise injection targets for Trainer.
+const (
+	NoiseNone        = train.NoiseNone
+	NoiseWeights     = train.NoiseWeights
+	NoiseActivations = train.NoiseActivations
+)
+
+// NewTensor returns a zero tensor with the given dimensions.
+func NewTensor(dims ...int) *Tensor { return tensor.New(dims...) }
+
+// RandnTensor returns a tensor of N(0, stddev²) entries from a
+// deterministic seed.
+func RandnTensor(seed int64, stddev float64, dims ...int) *Tensor {
+	return tensor.Randn(rand.New(rand.NewSource(seed)), stddev, dims...)
+}
+
+// NewNoiseModel returns a device nonideality model of relative strength
+// sigma.
+func NewNoiseModel(sigma float64, seed int64) *NoiseModel {
+	return rram.NewNoiseModel(sigma, seed)
+}
+
+// DefaultDataConfig returns the synthetic 10-class dataset configuration.
+func DefaultDataConfig() DataConfig { return data.DefaultConfig() }
+
+// SyntheticDataset generates the deterministic grating dataset.
+func SyntheticDataset(cfg DataConfig) *Dataset { return data.Generate(cfg) }
+
+// NewClassifier builds the compact CNN used by the accuracy experiments.
+func NewClassifier(seed int64, inC, inH, inW, classes int) *Classifier {
+	return train.SmallCNN(rand.New(rand.NewSource(seed)), inC, inH, inW, classes)
+}
+
+// ClassifierAccuracy evaluates top-1 accuracy (percent).
+func ClassifierAccuracy(net *Classifier, ds *Dataset) float64 {
+	return train.Accuracy(net, ds)
+}
+
+// Placement is the §IV.C inter-layer mapping: layers sequentially
+// assigned to macros, with fragmentation and time-multiplex accounting.
+type Placement = place.Placement
+
+// PlaceNetwork maps a network's compute layers onto an INCA configuration.
+func PlaceNetwork(cfg Config, net *Network) Placement {
+	return core.New(cfg).Placement(net)
+}
+
+// LoadConfig reads and validates an accelerator configuration from a JSON
+// file (see Config.Save for the writer).
+func LoadConfig(path string) (Config, error) { return arch.Load(path) }
+
+// Timeline renders an ASCII Gantt chart of the report's layer schedule:
+// the WS baseline pipelines images through layers in inference and
+// serializes them in training, while INCA executes each layer once for
+// the whole batch. items bounds how many images are drawn (legibility);
+// width is the chart width in characters.
+func Timeline(rep *Report, items, width int) string {
+	stages := make([]sched.Stage, 0, len(rep.Layers))
+	for _, lr := range rep.Layers {
+		perImage := lr.Result.Latency
+		if rep.Batch > 0 {
+			perImage /= float64(rep.Batch)
+		}
+		stages = append(stages, sched.Stage{Name: lr.Layer.Name, Latency: perImage})
+	}
+	if items < 1 {
+		items = 1
+	}
+	var entries []sched.Entry
+	switch {
+	case rep.Arch == "INCA":
+		// Batch-parallel: one pass of the full-batch layer latencies.
+		full := make([]sched.Stage, len(rep.Layers))
+		for i, lr := range rep.Layers {
+			full[i] = sched.Stage{Name: lr.Layer.Name, Latency: lr.Result.Latency}
+		}
+		entries = sched.BatchParallel(full)
+	case rep.Phase == Training:
+		entries = sched.Serial(stages, items)
+	default:
+		entries = sched.LayerPipeline(stages, items)
+	}
+	return sched.Gantt(entries, width)
+}
+
+// --- In-situ execution (whole networks on the array models) ---
+
+type (
+	// InSituMachine executes a Classifier end-to-end on the RRAM array
+	// models: direct convolution on 2T1R planes, folded FC reads, digital
+	// pooling/activation, and the §IV.C backward pass in which errors
+	// overwrite the activation cells.
+	InSituMachine = insitu.Machine
+	// InSituOptions configures quantization, ADC resolution, device noise
+	// and wear tracking for in-situ execution.
+	InSituOptions = insitu.Options
+)
+
+// NewInSitu builds an in-situ execution machine.
+func NewInSitu(opt InSituOptions) *InSituMachine { return insitu.New(opt) }
+
+// --- Endurance analysis (§VI future work) ---
+
+// EnduranceProfile is one dataflow's device-wear analysis.
+type EnduranceProfile = endure.Profile
+
+// AnalyzeEndurance evaluates the write-pressure lifetime of a design
+// ("INCA" or anything else for WS) in a phase, on the given device, using
+// a simulated batch latency.
+func AnalyzeEndurance(archName string, phase Phase, dev DeviceSpec, batchLatency float64) EnduranceProfile {
+	return endure.Analyze(archName, phase, dev, nil, batchLatency)
+}
+
+// DeviceSpec is a cell-technology description (Table II circuit block).
+type DeviceSpec = rram.Device
+
+// DeviceCandidates returns the §VI device technologies: RRAM, PCM, FeFET,
+// and SRAM.
+func DeviceCandidates() []DeviceSpec { return endure.Candidates() }
+
+// --- Functional array execution (real numbers through the RRAM models) ---
+
+// INCAArrayOptions configures functional IS execution (noise lands on
+// stored activations; Quantize is the per-window ADC).
+type INCAArrayOptions = core.FuncOptions
+
+// WSArrayOptions configures functional WS execution (noise lands on
+// programmed weights; Quantize is the per-column ADC).
+type WSArrayOptions = baseline.FuncOptions
+
+// INCAFunctionalConv executes a batched convolution on 2T1R 3D stacks
+// exactly as the INCA hardware does, returning one output per image.
+func INCAFunctionalConv(batch []*Tensor, w *Tensor, opt INCAArrayOptions) []*Tensor {
+	outs, _ := core.FunctionalConv2D(batch, w, opt)
+	return outs
+}
+
+// WSFunctionalConv executes a convolution on an unrolled WS crossbar
+// (ISAAC-style).
+func WSFunctionalConv(x, w *Tensor, opt WSArrayOptions) *Tensor {
+	out, _ := baseline.FunctionalConv2D(x, w, opt)
+	return out
+}

@@ -1,0 +1,175 @@
+package inca
+
+import (
+	"testing"
+)
+
+func TestFacadeModels(t *testing.T) {
+	if len(Models()) != 6 {
+		t.Fatalf("Models() = %d networks, want 6", len(Models()))
+	}
+	net, err := Model("VGG16")
+	if err != nil || net.Name != "VGG16" {
+		t.Fatalf("Model(VGG16) = %v, %v", net, err)
+	}
+	if _, err := Model("nope"); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestFacadeSimulateAndCompare(t *testing.T) {
+	net, _ := Model("ResNet18")
+	inca := NewINCA(DefaultINCA()).Simulate(net, Inference)
+	base := NewBaseline(DefaultBaseline()).Simulate(net, Inference)
+	cmp := Compare(inca, base)
+	if cmp.EnergyRatio <= 1 || cmp.Speedup <= 1 {
+		t.Fatalf("INCA should win both: %+v", cmp)
+	}
+	if cmp.PerfPerWatt != cmp.EnergyRatio*cmp.Speedup {
+		t.Fatal("PerfPerWatt should be the product")
+	}
+}
+
+func TestFacadeGPU(t *testing.T) {
+	net, _ := Model("VGG16")
+	rep := NewGPU().Simulate(net, Training)
+	if rep.Total.Latency <= 0 || rep.Total.Energy.Total() <= 0 {
+		t.Fatal("GPU simulation empty")
+	}
+	if GPUArea() != 754 {
+		t.Fatalf("GPUArea = %v, want 754", GPUArea())
+	}
+}
+
+func TestFacadeAnalyticalCounts(t *testing.T) {
+	net, _ := Model("VGG16")
+	ac := CountAccesses(net, 8, 256)
+	if ac.Baseline <= ac.INCA {
+		t.Fatal("WS should need more accesses than IS")
+	}
+	ub := CountUnroll(net)
+	if ub.Ratio() <= 1 {
+		t.Fatal("unrolled demand should exceed direct")
+	}
+}
+
+func TestFacadeAreas(t *testing.T) {
+	inca := DefaultINCA().Area()
+	base := DefaultBaseline().Area()
+	if inca.Total() >= base.Total() {
+		t.Fatalf("INCA area %.1f should be below baseline %.1f (Table V)",
+			inca.Total(), base.Total())
+	}
+}
+
+func TestFacadeMemoryFootprint(t *testing.T) {
+	net, _ := Model("VGG16")
+	f := MemoryFootprint(net)
+	// Table IV: baseline RRAM = 2W + A; INCA RRAM = A; buffers swap.
+	if f.BaselineRRAM <= f.INCARRAM {
+		t.Fatal("baseline RRAM must exceed INCA's (transposed weights + errors)")
+	}
+	if f.BaselineBuffer != f.INCARRAM || f.INCABuffer >= f.BaselineRRAM {
+		t.Fatalf("footprint structure wrong: %+v", f)
+	}
+}
+
+func TestFacadeTrainingAPIs(t *testing.T) {
+	cfg := DefaultDataConfig()
+	cfg.PerClass = 8
+	ds := SyntheticDataset(cfg)
+	if ds.Len() != 80 {
+		t.Fatalf("dataset len = %d", ds.Len())
+	}
+	net := NewClassifier(1, 1, cfg.H, cfg.W, cfg.Classes)
+	acc := ClassifierAccuracy(net, ds)
+	if acc < 0 || acc > 100 {
+		t.Fatalf("accuracy out of range: %v", acc)
+	}
+	tr := &Trainer{Net: net, LR: 0.02}
+	if loss := tr.Train(ds, 1); loss <= 0 {
+		t.Fatalf("training loss = %v", loss)
+	}
+}
+
+func TestFacadeFunctionalConvsAgree(t *testing.T) {
+	x := RandnTensor(1, 1, 2, 8, 8)
+	w := RandnTensor(2, 0.5, 3, 2, 3, 3)
+	is := INCAFunctionalConv([]*Tensor{x}, w, INCAArrayOptions{Stride: 1, Pad: 1})[0]
+	ws := WSFunctionalConv(x, w, WSArrayOptions{Stride: 1, Pad: 1})
+	if !is.Equal(ws, 1e-9) {
+		t.Fatal("functional paths disagree through the facade")
+	}
+}
+
+func TestFacadeInSitu(t *testing.T) {
+	net := NewClassifier(2, 1, 12, 12, 3)
+	m := NewInSitu(InSituOptions{})
+	x := RandnTensor(3, 1, 1, 12, 12)
+	hw := m.Forward(net, x)
+	sw := net.Forward(x)
+	if !hw.Equal(sw, 1e-9) {
+		t.Fatal("in-situ forward should match software forward")
+	}
+}
+
+func TestFacadePlacement(t *testing.T) {
+	net, _ := Model("LeNet5")
+	p := PlaceNetwork(DefaultINCA(), net)
+	if len(p.Assignments) != len(net.ComputeLayers()) {
+		t.Fatalf("placement covers %d layers, want %d",
+			len(p.Assignments), len(net.ComputeLayers()))
+	}
+	if p.Rounds != 1 {
+		t.Fatalf("LeNet5 should fit in one chip pass, got %d rounds", p.Rounds)
+	}
+}
+
+func TestFacadeLoadConfig(t *testing.T) {
+	path := t.TempDir() + "/cfg.json"
+	cfg := DefaultBaseline()
+	cfg.ADCBits = 6
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil || got.ADCBits != 6 || got.Name != "WS-Baseline" {
+		t.Fatalf("LoadConfig = %+v, %v", got, err)
+	}
+	if _, err := LoadConfig(path + ".missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestFacadeTimeline(t *testing.T) {
+	net, _ := Model("LeNet5")
+	base := NewBaseline(DefaultBaseline()).Simulate(net, Inference)
+	g := Timeline(base, 4, 80)
+	if len(g) < 100 || g == "(empty schedule)\n" {
+		t.Fatalf("timeline too small:\n%s", g)
+	}
+	inca := NewINCA(DefaultINCA()).Simulate(net, Inference)
+	gi := Timeline(inca, 4, 80)
+	if gi == g {
+		t.Fatal("INCA and baseline timelines should differ")
+	}
+	trn := NewBaseline(DefaultBaseline()).Simulate(net, Training)
+	if Timeline(trn, 2, 80) == g {
+		t.Fatal("training timeline should differ from inference")
+	}
+}
+
+func TestFacadeEndurance(t *testing.T) {
+	devs := DeviceCandidates()
+	if len(devs) != 4 {
+		t.Fatalf("device candidates = %d, want 4", len(devs))
+	}
+	p := AnalyzeEndurance("INCA", Training, devs[0], 0.1)
+	if p.WritesPerCellPerBatch != 2 {
+		t.Fatalf("IS training writes/cell/batch = %v, want 2", p.WritesPerCellPerBatch)
+	}
+	ws := AnalyzeEndurance("WS-Baseline", Training, devs[0], 0.1)
+	if ws.LifetimeSeconds <= p.LifetimeSeconds {
+		t.Fatal("WS training should outlast IS on the same device")
+	}
+}

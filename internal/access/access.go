@@ -1,0 +1,140 @@
+// Package access implements the paper's analytical memory-access model:
+// Eq. (5) and Eq. (6), the Table III buffer-access estimates for the WS
+// baseline and INCA, the Fig. 7a network-level comparison, and the
+// Fig. 7b unrolled-vs-direct RRAM parameter blow-up.
+package access
+
+import (
+	"github.com/inca-arch/inca/internal/nn"
+)
+
+// ceilDiv returns ceil(a / b) for positive b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// FetchPerOutput implements Eq. (5): the number of bus transactions needed
+// to fetch the operand data (one kernel's worth: K_H × K_W × C elements)
+// that produces one output element:
+//
+//	ceil(K_H × K_W × C × bit_precision / bus_width)
+//
+// For FC layers the "kernel" is the whole input vector.
+func FetchPerOutput(l nn.Layer, precBits, busBits int64) int64 {
+	depth := l.AccumulationDepth()
+	if depth == 0 {
+		return 0
+	}
+	return ceilDiv(depth*precBits, busBits)
+}
+
+// SavePerLayer implements Eq. (6): the accesses needed to save a layer's
+// outputs, with all N channel values of one position packed per transfer:
+//
+//	ceil(N × bit_precision / bus_width) × O_H × O_W
+func SavePerLayer(l nn.Layer, precBits, busBits int64) int64 {
+	if !l.IsCompute() {
+		return 0
+	}
+	return ceilDiv(int64(l.OutC)*precBits, busBits) * int64(l.OutH) * int64(l.OutW)
+}
+
+// WSLayerAccesses returns the Table III baseline estimate for one layer:
+// Eq. (5) × O_H × O_W + Eq. (6). The WS pipeline (ISAAC) must fetch the
+// input window for every output position and immediately redirect every
+// output to eDRAM.
+func WSLayerAccesses(l nn.Layer, precBits, busBits int64) int64 {
+	if !l.IsCompute() {
+		return 0
+	}
+	fetch := FetchPerOutput(l, precBits, busBits) * int64(l.OutH) * int64(l.OutW)
+	return fetch + SavePerLayer(l, precBits, busBits)
+}
+
+// ISLayerAccesses returns the Table III INCA estimate for one layer:
+// Eq. (5) × N. IS reuses a fetched filter for the whole output channel, so
+// fetches scale with the number of kernels, and outputs propagate directly
+// to the next layer's RRAM arrays rather than through buffers.
+func ISLayerAccesses(l nn.Layer, precBits, busBits int64) int64 {
+	if !l.IsCompute() {
+		return 0
+	}
+	switch l.Kind {
+	case nn.Conv:
+		return FetchPerOutput(l, precBits, busBits) * int64(l.OutC)
+	case nn.Depthwise:
+		// One single-channel kernel per channel.
+		return ceilDiv(int64(l.KH)*int64(l.KW)*precBits, busBits) * int64(l.OutC)
+	case nn.FC:
+		return FetchPerOutput(l, precBits, busBits) * int64(l.OutC)
+	default:
+		return 0
+	}
+}
+
+// NetworkAccesses sums a model over a network's convolution layers
+// (Table III counts conv layers; FC weights stream identically in both
+// designs and are excluded from the comparison, as in the paper).
+type NetworkAccesses struct {
+	Network  string
+	Baseline int64
+	INCA     int64
+}
+
+// Ratio returns Baseline / INCA (how many times more accesses WS needs).
+func (n NetworkAccesses) Ratio() float64 {
+	if n.INCA == 0 {
+		return 0
+	}
+	return float64(n.Baseline) / float64(n.INCA)
+}
+
+// CountNetwork evaluates both dataflows' conv-layer buffer accesses for a
+// network at the given precision and bus width. Table III uses the 8-bit
+// Table II precision and 256-bit bus; Fig. 7a uses 16-bit.
+func CountNetwork(net *nn.Network, precBits, busBits int64) NetworkAccesses {
+	out := NetworkAccesses{Network: net.Name}
+	for _, l := range net.ConvLayers() {
+		out.Baseline += WSLayerAccesses(l, precBits, busBits)
+		out.INCA += ISLayerAccesses(l, precBits, busBits)
+	}
+	return out
+}
+
+// TrainingINCAFactor is the paper's note that "the training process may
+// double the accesses in INCA to fetch transposed weight matrices".
+const TrainingINCAFactor = 2
+
+// UnrollBlowup quantifies Fig. 7b: the number of RRAM cells an IS design
+// would need with GEMM-style unrolled inputs versus direct convolution.
+type UnrollBlowup struct {
+	Network  string
+	Unrolled int64 // input elements after im2col duplication
+	Direct   int64 // input elements kept in their original shape
+}
+
+// Ratio returns Unrolled / Direct.
+func (u UnrollBlowup) Ratio() float64 {
+	if u.Direct == 0 {
+		return 0
+	}
+	return float64(u.Unrolled) / float64(u.Direct)
+}
+
+// CountUnroll computes the Fig. 7b comparison for a network. Unrolled
+// counts every window's duplicated elements (K_H·K_W·C per output
+// position); direct counts each layer's input feature map once.
+func CountUnroll(net *nn.Network) UnrollBlowup {
+	out := UnrollBlowup{Network: net.Name}
+	for _, l := range net.ConvLayers() {
+		positions := int64(l.OutH) * int64(l.OutW)
+		switch l.Kind {
+		case nn.Conv:
+			out.Unrolled += int64(l.KH) * int64(l.KW) * int64(l.InC) * positions
+		case nn.Depthwise:
+			out.Unrolled += int64(l.KH) * int64(l.KW) * int64(l.InC) * positions
+		}
+		out.Direct += l.InputElems()
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package analog models the mixed-signal periphery of a crossbar macro:
+// analog-to-digital converters, digital-to-analog drivers, and the digital
+// reduction units (adder trees, shift-accumulators).
+//
+// The ADC cost model encodes the paper's Limitation-3 observation: "It is
+// well-known that ADCs exponentially undermine performance and energy
+// efficiency. For example, four 4-bit ADC at 2.1 GHz can replace one 8-bit
+// at 1.2 GHz" and "one 8-bit ADC consumes energy as much as four 4-bit
+// ADCs, not two". Energy therefore scales as 2^(bits/2) and sample rate
+// degrades geometrically with resolution.
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reference anchor points for the ADC scaling laws (paper §III.A and §V.B,
+// citing FORMS [67]): an 8-bit SAR ADC at 1.2 GHz and a 4-bit ADC at
+// 2.1 GHz, with the 4:1 energy ratio between them.
+const (
+	refADCBits       = 8
+	refADCEnergy     = 2e-12  // J per 8-bit conversion (22 nm estimate)
+	refADCRate       = 1.2e9  // conversions/s at 8 bits
+	refADCRate4      = 2.1e9  // conversions/s at 4 bits
+	refADCAreaPerBit = 3.9e-4 // mm² for the 8-bit reference (ISAAC-class)
+)
+
+// ADC models one analog-to-digital converter of a given resolution.
+type ADC struct {
+	Bits          int
+	EnergyPerConv float64 // J
+	ConvLatency   float64 // s
+	Area          float64 // mm²
+}
+
+// NewADC derives an ADC of the requested resolution from the reference
+// anchors. Energy halves per 2 bits removed (the paper's 4-bit ADC uses
+// 1/4 the energy of the 8-bit), rate follows the 1.2→2.1 GHz anchor pair,
+// and area scales like energy (SAR capacitor DAC dominated).
+func NewADC(bits int) ADC {
+	if bits < 1 || bits > 14 {
+		panic(fmt.Sprintf("analog: unsupported ADC resolution %d", bits))
+	}
+	energy := refADCEnergy * math.Pow(2, float64(bits-refADCBits)/2)
+	// Rate anchors: 8-bit -> 1.2 GHz, 4-bit -> 2.1 GHz; geometric in bits.
+	perBitRate := math.Pow(refADCRate4/refADCRate, 1.0/4)
+	rate := refADCRate * math.Pow(perBitRate, float64(refADCBits-bits))
+	area := refADCAreaPerBit * math.Pow(2, float64(bits-refADCBits)/2) * float64(refADCBits) / float64(refADCBits)
+	return ADC{
+		Bits:          bits,
+		EnergyPerConv: energy,
+		ConvLatency:   1 / rate,
+		Area:          area,
+	}
+}
+
+// ConversionEnergy returns the energy of n conversions.
+func (a ADC) ConversionEnergy(n int64) float64 { return float64(n) * a.EnergyPerConv }
+
+// ConversionTime returns the serial time of n conversions through one ADC.
+func (a ADC) ConversionTime(n int64) float64 { return float64(n) * a.ConvLatency }
+
+// DAC models the input drivers. Both designs in the paper use 1-bit DACs
+// (Table II), which are essentially wordline drivers.
+type DAC struct {
+	Bits          int
+	EnergyPerConv float64 // J
+	ConvLatency   float64 // s
+	Area          float64 // mm²
+}
+
+// NewDAC returns a driver model of the given resolution; 1-bit drivers
+// cost ~0.05 pJ per event at 22 nm.
+func NewDAC(bits int) DAC {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("analog: unsupported DAC resolution %d", bits))
+	}
+	base := 0.05e-12
+	return DAC{
+		Bits:          bits,
+		EnergyPerConv: base * math.Pow(2, float64(bits-1)),
+		ConvLatency:   0.1e-9,
+		Area:          1.7e-7 * math.Pow(2, float64(bits-1)),
+	}
+}
+
+// Digital models the per-operation cost of the digital reduction fabric:
+// adders, shift-accumulators and activation/pooling logic at the target
+// node.
+type Digital struct {
+	AddEnergy  float64 // J per (8..16)-bit add
+	AddLatency float64 // s per add when serialized
+}
+
+// NewDigital returns 22 nm-class digital costs.
+func NewDigital() Digital {
+	return Digital{
+		AddEnergy:  0.03e-12,
+		AddLatency: 0.1e-9,
+	}
+}
+
+// TreeAdds returns the number of two-input additions needed to reduce n
+// partial sums (an adder tree performs n-1 adds).
+func TreeAdds(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return n - 1
+}
+
+// TreeDepth returns the latency-critical depth of an n-input adder tree.
+func TreeDepth(n int64) int64 {
+	if n <= 1 {
+		return 0
+	}
+	d := int64(0)
+	for v := n; v > 1; v = (v + 1) / 2 {
+		d++
+	}
+	return d
+}
+
+// ShiftAccEnergy returns the energy of combining `planes` bit-plane partial
+// sums in a shift-accumulator (one add per plane beyond the first).
+func (d Digital) ShiftAccEnergy(planes int64) float64 {
+	if planes <= 1 {
+		return 0
+	}
+	return float64(planes-1) * d.AddEnergy
+}

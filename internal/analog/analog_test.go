@@ -1,0 +1,137 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestADCEnergyFourToOneRule pins the paper's headline scaling fact: one
+// 8-bit ADC consumes the energy of four 4-bit ADCs, not two.
+func TestADCEnergyFourToOneRule(t *testing.T) {
+	e8 := NewADC(8).EnergyPerConv
+	e4 := NewADC(4).EnergyPerConv
+	if ratio := e8 / e4; math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("8-bit/4-bit energy ratio = %v, want 4", ratio)
+	}
+}
+
+// TestADCRateAnchors pins the 1.2 GHz (8-bit) and 2.1 GHz (4-bit) anchor
+// pair from the paper's Limitation 3.
+func TestADCRateAnchors(t *testing.T) {
+	r8 := 1 / NewADC(8).ConvLatency
+	r4 := 1 / NewADC(4).ConvLatency
+	if math.Abs(r8-1.2e9)/1.2e9 > 1e-6 {
+		t.Fatalf("8-bit rate = %v, want 1.2GHz", r8)
+	}
+	if math.Abs(r4-2.1e9)/2.1e9 > 1e-6 {
+		t.Fatalf("4-bit rate = %v, want 2.1GHz", r4)
+	}
+}
+
+func TestADCMonotoneInBits(t *testing.T) {
+	for b := 2; b <= 13; b++ {
+		lo, hi := NewADC(b), NewADC(b+1)
+		if hi.EnergyPerConv <= lo.EnergyPerConv {
+			t.Fatalf("ADC energy not increasing at %d bits", b)
+		}
+		if hi.ConvLatency <= lo.ConvLatency {
+			t.Fatalf("ADC latency not increasing at %d bits", b)
+		}
+		if hi.Area <= lo.Area {
+			t.Fatalf("ADC area not increasing at %d bits", b)
+		}
+	}
+}
+
+func TestADCOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewADC(0)
+}
+
+func TestADCBulkCosts(t *testing.T) {
+	a := NewADC(4)
+	if got := a.ConversionEnergy(1000); math.Abs(got-1000*a.EnergyPerConv) > 1e-20 {
+		t.Fatalf("ConversionEnergy = %v", got)
+	}
+	if got := a.ConversionTime(1000); math.Abs(got-1000*a.ConvLatency) > 1e-18 {
+		t.Fatalf("ConversionTime = %v", got)
+	}
+}
+
+func TestDAC(t *testing.T) {
+	d1 := NewDAC(1)
+	d2 := NewDAC(2)
+	if d2.EnergyPerConv <= d1.EnergyPerConv {
+		t.Fatal("DAC energy should grow with bits")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0-bit DAC")
+		}
+	}()
+	NewDAC(0)
+}
+
+func TestTreeAdds(t *testing.T) {
+	cases := []struct{ n, want int64 }{{0, 0}, {1, 0}, {2, 1}, {8, 7}, {100, 99}}
+	for _, c := range cases {
+		if got := TreeAdds(c.n); got != c.want {
+			t.Errorf("TreeAdds(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ n, want int64 }{{1, 0}, {2, 1}, {4, 2}, {8, 3}, {9, 4}, {16, 4}}
+	for _, c := range cases {
+		if got := TreeDepth(c.n); got != c.want {
+			t.Errorf("TreeDepth(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestShiftAccEnergy(t *testing.T) {
+	d := NewDigital()
+	if d.ShiftAccEnergy(1) != 0 {
+		t.Fatal("single plane needs no accumulation")
+	}
+	if got := d.ShiftAccEnergy(8); math.Abs(got-7*d.AddEnergy) > 1e-20 {
+		t.Fatalf("ShiftAccEnergy(8) = %v", got)
+	}
+}
+
+// PROPERTY: halving ADC resolution by 2 bits always halves energy (the
+// exponential law behind Fig. 13a).
+func TestPropertyADCEnergyLaw(t *testing.T) {
+	f := func(raw uint8) bool {
+		b := 3 + int(raw)%10 // 3..12
+		hi := NewADC(b).EnergyPerConv
+		lo := NewADC(b - 2).EnergyPerConv
+		return math.Abs(hi/lo-2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: an adder tree's depth is within ceil(log2(n)) and its add
+// count is exactly n-1.
+func TestPropertyAdderTree(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int64(raw)%4096 + 1
+		depth := TreeDepth(n)
+		wantDepth := int64(math.Ceil(math.Log2(float64(n))))
+		if n == 1 {
+			wantDepth = 0
+		}
+		return depth == wantDepth && TreeAdds(n) == n-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// FuncOptions configures functional WS execution.
+type FuncOptions struct {
+	Stride int
+	Pad    int
+	// Noise perturbs the programmed weights (the WS nonideality location
+	// of Table VI).
+	Noise *rram.NoiseModel
+	// Quantize, when non-nil, is the per-column ADC transfer function.
+	Quantize func(float64) float64
+}
+
+// FunctionalConv2D executes a convolution the weight-stationary way: the
+// kernel tensor is unrolled into a [K²C × N] matrix programmed into a
+// crossbar, the input is im2col-unrolled, and each output position is one
+// matrix-vector operation with column-wise accumulation (ISAAC-style).
+// It returns the [N, OH, OW] output and the device event counts.
+func FunctionalConv2D(x, w *tensor.Tensor, opt FuncOptions) (*tensor.Tensor, rram.Stats) {
+	if opt.Stride < 1 {
+		opt.Stride = 1
+	}
+	n, c, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	spec := tensor.ConvSpec{Stride: opt.Stride, Pad: opt.Pad}
+	oh := spec.OutSize(x.Dim(1), kh)
+	ow := spec.OutSize(x.Dim(2), kw)
+
+	// Unrolled weight matrix: rows = K²C window elements, cols = N kernels.
+	rows := kh * kw * c
+	xbar := rram.NewCrossbar(rows, n)
+	if opt.Noise != nil {
+		xbar.SetNoise(opt.Noise)
+	}
+	if opt.Quantize != nil {
+		xbar.SetQuantizer(opt.Quantize)
+	}
+	wm := tensor.New(rows, n)
+	for on := 0; on < n; on++ {
+		for ic := 0; ic < c; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					wm.Set(w.At(on, ic, ky, kx), (ic*kh+ky)*kw+kx, on)
+				}
+			}
+		}
+	}
+	xbar.Program(wm)
+
+	cols := tensor.Im2Col(x, kh, kw, spec)
+	out := tensor.New(n, oh, ow)
+	vec := tensor.New(rows)
+	for pos := 0; pos < oh*ow; pos++ {
+		for r := 0; r < rows; r++ {
+			vec.Set(cols.At(r, pos), r)
+		}
+		res := xbar.MVM(vec)
+		for on := 0; on < n; on++ {
+			out.Set(res.At(on), on, pos/ow, pos%ow)
+		}
+	}
+	return out, xbar.Stats()
+}

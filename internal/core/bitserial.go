@@ -1,0 +1,104 @@
+package core
+
+import (
+	"github.com/inca-arch/inca/internal/fixed"
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// BitSerialConv2D executes a single-channel convolution exactly the way
+// the INCA macro does at the bit level (§IV.C): each activation bit plane
+// lives in its own binary 2T1R plane ("Each RRAM stores one bit of input
+// values"), the weight is fed in bit by bit, each (activation-plane,
+// weight-bit) pair produces a ≤K² binary dot product per window — which is
+// why a 4-bit ADC suffices — and two nested shift-accumulators reassemble
+// the full-precision result.
+//
+// Inputs are real-valued; they are quantized to `bits` with sign-magnitude
+// coding (one sign flag per operand element, tracked digitally). The
+// returned map equals the integer convolution of the quantized operands,
+// scaled back to real units — tests pin this equivalence.
+func BitSerialConv2D(x, w *tensor.Tensor, bits, stride int) (*tensor.Tensor, rram.Stats) {
+	if x.Rank() != 2 || w.Rank() != 2 {
+		panic("core: BitSerialConv2D wants rank-2 x and w")
+	}
+	h, wd := x.Dim(0), x.Dim(1)
+	kh, kw := w.Dim(0), w.Dim(1)
+	qx := fixed.NewQuantizer(bits, x.MaxAbs())
+	qw := fixed.NewQuantizer(bits, w.MaxAbs())
+
+	// Decompose the activations into sign + bit planes, one binary 2T1R
+	// plane per bit.
+	signs := tensor.New(h, wd)
+	planes := make([]*rram.Plane, bits)
+	planeData := make([]*tensor.Tensor, bits)
+	for b := range planes {
+		planes[b] = rram.NewPlane(h, wd)
+		planeData[b] = tensor.New(h, wd)
+	}
+	for y := 0; y < h; y++ {
+		for xx := 0; xx < wd; xx++ {
+			s, mag := fixed.SignMagnitude(qx.Quantize(x.At(y, xx)))
+			signs.Set(float64(s), y, xx)
+			for b, bit := range fixed.BitPlanes(mag, bits) {
+				planeData[b].Set(float64(bit), y, xx)
+			}
+		}
+	}
+	for b := range planes {
+		planes[b].Write(planeData[b])
+	}
+
+	// Weight sign-magnitude bit planes.
+	wSigns := make([]int64, kh*kw)
+	wBits := make([][]uint8, kh*kw)
+	for i := 0; i < kh*kw; i++ {
+		s, mag := fixed.SignMagnitude(qw.Quantize(w.Data()[i]))
+		wSigns[i] = s
+		wBits[i] = fixed.BitPlanes(mag, bits)
+	}
+
+	oh := (h-kh)/stride + 1
+	ow := (wd-kw)/stride + 1
+	out := tensor.New(oh, ow)
+	kern := tensor.New(kh, kw)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			var outer fixed.ShiftAccumulator
+			for wb := 0; wb < bits; wb++ { // weight bit streamed to pillars
+				var inner fixed.ShiftAccumulator
+				for ab := 0; ab < bits; ab++ { // resident activation planes
+					// The sign logic is digital: the pillar drive carries
+					// the product sign for each window cell.
+					var partial int64
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							kern.Set(float64(wBits[ky*kw+kx][wb])*
+								float64(wSigns[ky*kw+kx])*
+								signs.At(oy*stride+ky, ox*stride+kx), ky, kx)
+						}
+					}
+					// One analog window read: ≤ K² binary products.
+					sum := planes[ab].ReadWindow(kern, oy*stride, ox*stride)
+					partial = int64(sum + copysignHalf(sum))
+					inner.Push(partial)
+				}
+				outer.Push(inner.Value())
+			}
+			out.Set(float64(outer.Value())*qx.Scale*qw.Scale, oy, ox)
+		}
+	}
+
+	var stats rram.Stats
+	for _, p := range planes {
+		stats = stats.Plus(p.Stats())
+	}
+	return out, stats
+}
+
+func copysignHalf(v float64) float64 {
+	if v < 0 {
+		return -0.5
+	}
+	return 0.5
+}

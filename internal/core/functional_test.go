@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/inca-arch/inca/internal/baseline"
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// TestFunctionalConvMatchesReference validates the 2T1R execution path:
+// the hardware-mapped convolution equals tensor.Conv2D for every image of
+// the batch.
+func TestFunctionalConvMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ b, c, h, n, k, s, p int }{
+		{1, 1, 6, 1, 3, 1, 0},
+		{3, 2, 8, 4, 3, 1, 1},
+		{2, 3, 7, 2, 3, 2, 1},
+		{4, 2, 6, 3, 1, 1, 0},
+	}
+	for _, cse := range cases {
+		batch := make([]*tensor.Tensor, cse.b)
+		for i := range batch {
+			batch[i] = tensor.Randn(rng, 1, cse.c, cse.h, cse.h)
+		}
+		w := tensor.Randn(rng, 1, cse.n, cse.c, cse.k, cse.k)
+		outs, stats := FunctionalConv2D(batch, w, FuncOptions{Stride: cse.s, Pad: cse.p})
+		for i, got := range outs {
+			want := tensor.Conv2D(batch[i], w, tensor.ConvSpec{Stride: cse.s, Pad: cse.p})
+			if !got.Equal(want, 1e-9) {
+				t.Fatalf("case %+v image %d: INCA functional conv mismatch", cse, i)
+			}
+		}
+		if stats.CellReads == 0 || stats.CellWrites == 0 || stats.Outputs == 0 {
+			t.Fatalf("case %+v: stats not recorded: %+v", cse, stats)
+		}
+	}
+}
+
+// TestFunctionalINCAEqualsWSBaseline is the cross-architecture functional
+// check: the direct-convolution 2T1R path and the unrolled WS crossbar
+// path compute identical results in the ideal case.
+func TestFunctionalINCAEqualsWSBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.Randn(rng, 1, 3, 9, 9)
+	w := tensor.Randn(rng, 1, 4, 3, 3, 3)
+
+	incaOut, _ := FunctionalConv2D([]*tensor.Tensor{x}, w, FuncOptions{Stride: 1, Pad: 1})
+	wsOut, _ := baseline.FunctionalConv2D(x, w, baseline.FuncOptions{Stride: 1, Pad: 1})
+	if !incaOut[0].Equal(wsOut, 1e-9) {
+		t.Fatal("IS and WS functional executions disagree")
+	}
+}
+
+// TestFunctionalADCQuantizationBoundedError checks that a 4-bit ADC on the
+// small INCA windows introduces bounded error, while the same resolution
+// on the WS baseline's deep columns (which need 8-bit) would be far worse.
+func TestFunctionalADCQuantizationBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := tensor.Randn(rng, 1, 2, 8, 8)
+	w := tensor.Randn(rng, 1, 2, 2, 3, 3)
+	ideal, _ := FunctionalConv2D([]*tensor.Tensor{x}, w, FuncOptions{Stride: 1})
+
+	// Full-scale sized to bound any per-channel window sum (9 products).
+	fs := 9 * x.MaxAbs() * w.MaxAbs()
+	quant, _ := FunctionalConv2D([]*tensor.Tensor{x}, w, FuncOptions{
+		Stride:   1,
+		Quantize: rram.UniformQuantizer(4, fs),
+	})
+	// Error per output is bounded by channels × step/2 (each channel's
+	// window read is quantized separately).
+	step := fs / 8
+	maxErr := 0.0
+	for i := range ideal[0].Data() {
+		if e := math.Abs(ideal[0].Data()[i] - quant[0].Data()[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	bound := 2 * (step/2 + 1e-9) // 2 channels
+	if maxErr > bound {
+		t.Fatalf("quantized conv error %v exceeds bound %v", maxErr, bound)
+	}
+}
+
+// TestFunctionalNoiseLocations verifies the Table VI mechanism at the
+// array level: IS noise lands on activations, WS noise lands on weights,
+// and both perturb the outputs.
+func TestFunctionalNoiseLocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := tensor.Randn(rng, 1, 2, 6, 6)
+	w := tensor.Randn(rng, 1, 2, 2, 3, 3)
+	ideal, _ := FunctionalConv2D([]*tensor.Tensor{x}, w, FuncOptions{Stride: 1})
+
+	noisyIS, _ := FunctionalConv2D([]*tensor.Tensor{x}, w, FuncOptions{
+		Stride: 1, Noise: rram.NewNoiseModel(0.05, 21),
+	})
+	if ideal[0].Equal(noisyIS[0], 1e-9) {
+		t.Fatal("IS activation noise had no effect")
+	}
+
+	idealWS, _ := baseline.FunctionalConv2D(x, w, baseline.FuncOptions{Stride: 1})
+	noisyWS, _ := baseline.FunctionalConv2D(x, w, baseline.FuncOptions{
+		Stride: 1, Noise: rram.NewNoiseModel(0.05, 22),
+	})
+	if idealWS.Equal(noisyWS, 1e-9) {
+		t.Fatal("WS weight noise had no effect")
+	}
+}
+
+// PROPERTY: INCA functional conv equals the reference for random small
+// geometries.
+func TestPropertyFunctionalConv(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(3)
+		h := k + rng.Intn(5)
+		n := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(2)
+		p := rng.Intn(k)
+		x := tensor.Randn(rng, 1, c, h, h)
+		w := tensor.Randn(rng, 1, n, c, k, k)
+		outs, _ := FunctionalConv2D([]*tensor.Tensor{x}, w, FuncOptions{Stride: s, Pad: p})
+		want := tensor.Conv2D(x, w, tensor.ConvSpec{Stride: s, Pad: p})
+		return outs[0].Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

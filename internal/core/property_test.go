@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/baseline"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// randomNet builds a small random but valid conv network.
+func randomNet(rng *rand.Rand) *nn.Network {
+	c := 1 + rng.Intn(8)
+	h := 8 + rng.Intn(24)
+	net := &nn.Network{Name: "rand", InputC: c, InputH: h, InputW: h, Classes: 4}
+	cur := nn.Layer{OutC: c, OutH: h, OutW: h}
+	layers := 1 + rng.Intn(3)
+	for i := 0; i < layers; i++ {
+		k := 1 + 2*rng.Intn(2) // 1 or 3
+		outC := 1 + rng.Intn(16)
+		pad := k / 2
+		l := nn.Layer{
+			Name: "c", Kind: nn.Conv,
+			InC: cur.OutC, InH: cur.OutH, InW: cur.OutW,
+			OutC: outC, KH: k, KW: k, Stride: 1, Pad: pad,
+			OutH: cur.OutH, OutW: cur.OutW,
+		}
+		net.Layers = append(net.Layers, l)
+		cur = l
+	}
+	return net
+}
+
+// PROPERTY: simulated energy and latency are strictly positive and finite
+// for arbitrary valid conv networks, in both phases, on both machines.
+func TestPropertySimulationsWellFormed(t *testing.T) {
+	incaM := New(arch.INCA())
+	baseM := baseline.New(arch.Baseline())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := randomNet(rng)
+		if err := net.Validate(); err != nil {
+			return false
+		}
+		for _, phase := range []sim.Phase{sim.Inference, sim.Training} {
+			for _, rep := range []*sim.Report{incaM.Simulate(net, phase), baseM.Simulate(net, phase)} {
+				e, l := rep.Total.Energy.Total(), rep.Total.Latency
+				if !(e > 0) || !(l > 0) || e > 1e6 || l > 1e6 {
+					return false
+				}
+				u := rep.Utilization()
+				if u < 0 || u > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: INCA batch energy is monotone in batch size, and per-image
+// energy is non-increasing (amortization of weight fetches).
+func TestPropertyBatchMonotonicity(t *testing.T) {
+	net := nn.LeNet5()
+	f := func(raw uint8) bool {
+		b1 := 1 + int(raw)%32
+		b2 := b1 * 2
+		mk := func(b int) *sim.Report {
+			cfg := arch.INCA()
+			cfg.BatchSize = b
+			return New(cfg).Simulate(net, sim.Training)
+		}
+		r1, r2 := mk(b1), mk(b2)
+		if r2.Total.Energy.Total() <= r1.Total.Energy.Total() {
+			return false
+		}
+		return r2.EnergyPerImage() <= r1.EnergyPerImage()*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: shrinking the chip (fewer tiles) never reduces INCA latency
+// (the time-multiplex factor only grows).
+func TestPropertyChipSizeLatency(t *testing.T) {
+	net := nn.VGG16CIFAR()
+	var prev float64
+	for _, tiles := range []int{168, 42, 12, 4} {
+		cfg := arch.INCA()
+		cfg.Tiles = tiles
+		lat := New(cfg).Simulate(net, sim.Inference).Total.Latency
+		if prev != 0 && lat < prev*0.999 {
+			t.Fatalf("latency decreased when shrinking chip to %d tiles: %v < %v", tiles, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+// TestBatchSpillBeyondPlanes pins the plane-pass model: a batch twice the
+// stack depth takes about twice the compute latency of an equal batch
+// that fits.
+func TestBatchSpillBeyondPlanes(t *testing.T) {
+	net := nn.LeNet5()
+	mk := func(batch int) float64 {
+		cfg := arch.INCA()
+		cfg.BatchSize = batch
+		return New(cfg).Simulate(net, sim.Inference).Total.Latency
+	}
+	fit := mk(64)    // = StackedPlanes
+	spill := mk(128) // 2 plane passes
+	if spill < fit*1.5 {
+		t.Fatalf("batch 128 latency %v should be ~2x batch 64 latency %v", spill, fit)
+	}
+}

@@ -1,0 +1,106 @@
+// Package data generates the deterministic synthetic image-classification
+// dataset used by the accuracy experiments (Tables I and VI).
+//
+// The paper trains on CIFAR-10/ImageNet with torchvision, neither of which
+// is available offline; this generator substitutes a 10-class problem
+// whose classes are oriented sinusoidal gratings with per-sample jitter
+// and additive noise. Relative accuracy sensitivity to weight-vs-
+// activation perturbation — the quantity Tables I and VI measure — is a
+// property of the network and gradient structure, not of the specific
+// images, so the substitution preserves the experiment (DESIGN.md §5).
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// Sample is one labeled image.
+type Sample struct {
+	Image *tensor.Tensor // [1, H, W]
+	Label int
+}
+
+// Dataset is a deterministic labeled image collection.
+type Dataset struct {
+	Classes int
+	H, W    int
+	Samples []Sample
+}
+
+// Config controls generation.
+type Config struct {
+	Classes    int
+	H, W       int
+	PerClass   int     // samples per class
+	NoiseStd   float64 // additive pixel noise
+	JitterFrac float64 // random phase jitter as a fraction of 2π
+	Seed       int64
+}
+
+// DefaultConfig returns the configuration used by the accuracy benches:
+// 10 classes of 16×16 gratings, 60 samples per class.
+func DefaultConfig() Config {
+	return Config{
+		Classes:    10,
+		H:          16,
+		W:          16,
+		PerClass:   60,
+		NoiseStd:   0.9,
+		JitterFrac: 0.5,
+		Seed:       1234,
+	}
+}
+
+// Generate builds the dataset. The same Config always yields the same
+// samples.
+func Generate(cfg Config) *Dataset {
+	if cfg.Classes < 2 || cfg.PerClass < 1 || cfg.H < 4 || cfg.W < 4 {
+		panic(fmt.Sprintf("data: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Classes: cfg.Classes, H: cfg.H, W: cfg.W}
+	for class := 0; class < cfg.Classes; class++ {
+		// Each class is a grating at a distinct orientation and frequency.
+		theta := math.Pi * float64(class) / float64(cfg.Classes)
+		freq := 1.5 + 0.5*float64(class%3)
+		for s := 0; s < cfg.PerClass; s++ {
+			img := tensor.New(1, cfg.H, cfg.W)
+			phase := rng.Float64() * 2 * math.Pi * cfg.JitterFrac
+			amp := 0.8 + 0.4*rng.Float64()
+			for y := 0; y < cfg.H; y++ {
+				for x := 0; x < cfg.W; x++ {
+					u := (float64(x)/float64(cfg.W) - 0.5) * math.Cos(theta)
+					v := (float64(y)/float64(cfg.H) - 0.5) * math.Sin(theta)
+					val := amp*math.Sin(2*math.Pi*freq*(u+v)+phase) +
+						rng.NormFloat64()*cfg.NoiseStd
+					img.Set(val, 0, y, x)
+				}
+			}
+			ds.Samples = append(ds.Samples, Sample{Image: img, Label: class})
+		}
+	}
+	// Deterministic shuffle so class order does not bias per-sample SGD.
+	rng.Shuffle(len(ds.Samples), func(i, j int) {
+		ds.Samples[i], ds.Samples[j] = ds.Samples[j], ds.Samples[i]
+	})
+	return ds
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// test fraction, preserving determinism.
+func (d *Dataset) Split(testFrac float64) (train, test *Dataset) {
+	if testFrac <= 0 || testFrac >= 1 {
+		panic(fmt.Sprintf("data: invalid test fraction %v", testFrac))
+	}
+	n := int(float64(len(d.Samples)) * testFrac)
+	test = &Dataset{Classes: d.Classes, H: d.H, W: d.W, Samples: d.Samples[:n]}
+	train = &Dataset{Classes: d.Classes, H: d.H, W: d.W, Samples: d.Samples[n:]}
+	return train, test
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }

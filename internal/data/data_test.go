@@ -1,0 +1,128 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if a.Len() != b.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatal("label sequence differs between identical configs")
+		}
+		if !a.Samples[i].Image.Equal(b.Samples[i].Image, 0) {
+			t.Fatal("images differ between identical configs")
+		}
+	}
+}
+
+func TestGenerateShapeAndBalance(t *testing.T) {
+	cfg := DefaultConfig()
+	ds := Generate(cfg)
+	if ds.Len() != cfg.Classes*cfg.PerClass {
+		t.Fatalf("Len = %d, want %d", ds.Len(), cfg.Classes*cfg.PerClass)
+	}
+	counts := make([]int, cfg.Classes)
+	for _, s := range ds.Samples {
+		if s.Label < 0 || s.Label >= cfg.Classes {
+			t.Fatalf("label %d out of range", s.Label)
+		}
+		counts[s.Label]++
+		d := s.Image.Dims()
+		if d[0] != 1 || d[1] != cfg.H || d[2] != cfg.W {
+			t.Fatalf("image dims %v", d)
+		}
+	}
+	for c, n := range counts {
+		if n != cfg.PerClass {
+			t.Fatalf("class %d has %d samples, want %d", c, n, cfg.PerClass)
+		}
+	}
+}
+
+func TestGenerateShuffled(t *testing.T) {
+	ds := Generate(DefaultConfig())
+	// The first PerClass samples must not all share a label.
+	first := ds.Samples[0].Label
+	same := 0
+	for _, s := range ds.Samples[:30] {
+		if s.Label == first {
+			same++
+		}
+	}
+	if same == 30 {
+		t.Fatal("dataset does not look shuffled")
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// Mean images of different classes should differ far more than mean
+	// images of the same class across two generations with different
+	// sample noise... simpler: class means must be pairwise distinct.
+	cfg := DefaultConfig()
+	cfg.NoiseStd = 0 // pure patterns
+	ds := Generate(cfg)
+	means := make([][]float64, cfg.Classes)
+	counts := make([]int, cfg.Classes)
+	for _, s := range ds.Samples {
+		if means[s.Label] == nil {
+			means[s.Label] = make([]float64, s.Image.Len())
+		}
+		for i, v := range s.Image.Data() {
+			means[s.Label][i] += v
+		}
+		counts[s.Label]++
+	}
+	for c := range means {
+		for i := range means[c] {
+			means[c][i] /= float64(counts[c])
+		}
+	}
+	for a := 0; a < cfg.Classes; a++ {
+		for b := a + 1; b < cfg.Classes; b++ {
+			dist := 0.0
+			for i := range means[a] {
+				d := means[a][i] - means[b][i]
+				dist += d * d
+			}
+			if math.Sqrt(dist) < 0.5 {
+				t.Fatalf("classes %d and %d are nearly identical (dist %v)", a, b, math.Sqrt(dist))
+			}
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ds := Generate(DefaultConfig())
+	train, test := ds.Split(0.25)
+	if train.Len()+test.Len() != ds.Len() {
+		t.Fatal("split lost samples")
+	}
+	if test.Len() != ds.Len()/4 {
+		t.Fatalf("test size = %d, want %d", test.Len(), ds.Len()/4)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{Classes: 1, PerClass: 1, H: 16, W: 16})
+}
+
+func TestInvalidSplitPanics(t *testing.T) {
+	ds := Generate(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ds.Split(0)
+}

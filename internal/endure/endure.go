@@ -1,0 +1,109 @@
+// Package endure analyzes the device-endurance exposure of the two
+// dataflows — the concern the paper's §VI raises ("INCA is also unable to
+// avoid the endurance issue of RRAMs like other trainable accelerators")
+// and defers to future work.
+//
+// The write pressure is structural:
+//
+//   - IS (INCA): activations are rewritten on *every* pass — each batch's
+//     forward writes every activation cell once and the backward
+//     overwrites it with errors once, in inference and training alike.
+//   - WS (baseline): weights are static during inference (zero writes)
+//     but every training batch rewrites the updated weights and their
+//     transposed copies.
+//
+// Lifetime therefore favors WS for inference-only deployments and
+// converges for training, with the crossover set by the device's write
+// budget — exactly the trade the paper's future-work section points at.
+package endure
+
+import (
+	"math"
+
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Profile is one (dataflow, phase, device) endurance analysis.
+type Profile struct {
+	Arch   string
+	Phase  sim.Phase
+	Device string
+
+	// WritesPerCellPerBatch is the worst-case per-cell write count each
+	// batch incurs.
+	WritesPerCellPerBatch float64
+	// BatchesToFailure is the device write budget divided by the per-batch
+	// pressure (+Inf when there are no writes).
+	BatchesToFailure float64
+	// LifetimeSeconds converts batches to wall-clock using the simulated
+	// batch latency.
+	LifetimeSeconds float64
+}
+
+// LifetimeYears returns the lifetime in years.
+func (p Profile) LifetimeYears() float64 {
+	return p.LifetimeSeconds / (365.25 * 24 * 3600)
+}
+
+// ISWritesPerBatch returns the per-cell write pressure of the IS dataflow
+// for one batch: one activation write in the forward pass, plus one error
+// overwrite in training (§IV.C).
+func ISWritesPerBatch(phase sim.Phase) float64 {
+	if phase == sim.Training {
+		return 2
+	}
+	return 1
+}
+
+// WSWritesPerBatch returns the per-cell write pressure of the WS dataflow
+// for one batch: zero in inference (weights stay), one rewrite of the
+// weight cells (and their transposed copies, which wear identically) per
+// training batch.
+func WSWritesPerBatch(phase sim.Phase) float64 {
+	if phase == sim.Training {
+		return 1
+	}
+	return 0
+}
+
+// Analyze builds the endurance profile for a dataflow on a device, using
+// the simulated batch latency to convert the write budget to wall-clock
+// lifetime. net is accepted for symmetry with the simulators (the per-cell
+// pressure is shape-independent; the *energy* of the writes is what the
+// simulators charge).
+func Analyze(archName string, phase sim.Phase, dev rram.Device, _ *nn.Network, batchLatency float64) Profile {
+	var perBatch float64
+	switch archName {
+	case "INCA":
+		perBatch = ISWritesPerBatch(phase)
+	default:
+		perBatch = WSWritesPerBatch(phase)
+	}
+	p := Profile{
+		Arch:                  archName,
+		Phase:                 phase,
+		Device:                dev.Name,
+		WritesPerCellPerBatch: perBatch,
+	}
+	if perBatch == 0 || dev.Endurance == 0 {
+		p.BatchesToFailure = math.Inf(1)
+		p.LifetimeSeconds = math.Inf(1)
+		return p
+	}
+	p.BatchesToFailure = dev.Endurance / perBatch
+	p.LifetimeSeconds = p.BatchesToFailure * batchLatency
+	return p
+}
+
+// Candidates returns the device technologies the future-work analysis
+// compares.
+func Candidates() []rram.Device {
+	return []rram.Device{
+		rram.DefaultDevice(),
+		rram.PCMDevice(),
+		rram.FeFETDevice(),
+		rram.SRAMCell(),
+	}
+}

@@ -1,0 +1,89 @@
+package endure
+
+import (
+	"math"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+func TestWritePressureStructure(t *testing.T) {
+	if ISWritesPerBatch(sim.Inference) != 1 || ISWritesPerBatch(sim.Training) != 2 {
+		t.Fatal("IS write pressure wrong")
+	}
+	if WSWritesPerBatch(sim.Inference) != 0 || WSWritesPerBatch(sim.Training) != 1 {
+		t.Fatal("WS write pressure wrong")
+	}
+}
+
+func TestWSInferenceLastsForever(t *testing.T) {
+	p := Analyze("WS-Baseline", sim.Inference, rram.DefaultDevice(), nil, 0.1)
+	if !math.IsInf(p.BatchesToFailure, 1) {
+		t.Fatal("WS inference writes nothing; lifetime should be infinite")
+	}
+}
+
+func TestISTrainingWearsFasterThanWS(t *testing.T) {
+	dev := rram.DefaultDevice()
+	is := Analyze("INCA", sim.Training, dev, nil, 0.1)
+	ws := Analyze("WS-Baseline", sim.Training, dev, nil, 0.1)
+	if is.BatchesToFailure >= ws.BatchesToFailure {
+		t.Fatalf("IS training (%v batches) should wear faster than WS (%v)",
+			is.BatchesToFailure, ws.BatchesToFailure)
+	}
+}
+
+func TestLifetimeScalesWithEnduranceAndLatency(t *testing.T) {
+	dev := rram.DefaultDevice()
+	short := Analyze("INCA", sim.Training, dev, nil, 0.1)
+	long := Analyze("INCA", sim.Training, dev, nil, 1.0)
+	if long.LifetimeSeconds <= short.LifetimeSeconds {
+		t.Fatal("slower batches should stretch wall-clock lifetime")
+	}
+	better := rram.FeFETDevice()
+	fe := Analyze("INCA", sim.Training, better, nil, 0.1)
+	if fe.BatchesToFailure <= short.BatchesToFailure {
+		t.Fatal("higher-endurance device should survive more batches")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	cands := Candidates()
+	if len(cands) != 4 {
+		t.Fatalf("candidates = %d, want 4", len(cands))
+	}
+	names := map[string]bool{}
+	for _, d := range cands {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if d.Endurance <= 0 {
+			t.Errorf("%s: missing endurance budget", d.Name)
+		}
+		names[d.Name] = true
+	}
+	if len(names) != 4 {
+		t.Fatal("candidate names not unique")
+	}
+	// SRAM must be the most durable, RRAM/PCM the least.
+	var sram, rramDev rram.Device
+	for _, d := range cands {
+		switch d.Name {
+		case "SRAM (8T CIM)":
+			sram = d
+		case "RRAM (TaOx/HfOx)":
+			rramDev = d
+		}
+	}
+	if sram.Endurance <= rramDev.Endurance {
+		t.Fatal("SRAM should out-endure RRAM")
+	}
+}
+
+func TestLifetimeYears(t *testing.T) {
+	p := Profile{LifetimeSeconds: 365.25 * 24 * 3600}
+	if math.Abs(p.LifetimeYears()-1) > 1e-12 {
+		t.Fatalf("LifetimeYears = %v, want 1", p.LifetimeYears())
+	}
+}

@@ -1,0 +1,195 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+func TestQuantizerRange(t *testing.T) {
+	q := NewQuantizer(8, 1.0)
+	if q.MaxCode() != 127 {
+		t.Fatalf("MaxCode = %d, want 127", q.MaxCode())
+	}
+	if c := q.Quantize(1.0); c != 127 {
+		t.Fatalf("Quantize(1.0) = %d, want 127", c)
+	}
+	if c := q.Quantize(-1.0); c != -127 {
+		t.Fatalf("Quantize(-1.0) = %d, want -127", c)
+	}
+	if c := q.Quantize(10.0); c != 127 {
+		t.Fatalf("Quantize clamping failed: got %d", c)
+	}
+	if c := q.Quantize(0); c != 0 {
+		t.Fatalf("Quantize(0) = %d, want 0", c)
+	}
+}
+
+func TestQuantizerErrorBound(t *testing.T) {
+	q := NewQuantizer(8, 2.0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*4 - 2
+		if err := math.Abs(q.RoundTrip(x) - x); err > q.Scale/2+1e-12 {
+			t.Fatalf("round-trip error %v exceeds half step %v for x=%v", err, q.Scale/2, x)
+		}
+	}
+}
+
+func TestQuantizerMonotone(t *testing.T) {
+	q := NewQuantizer(4, 1.0)
+	prev := int64(math.MinInt64)
+	for x := -1.5; x <= 1.5; x += 0.01 {
+		c := q.Quantize(x)
+		if c < prev {
+			t.Fatalf("quantizer not monotone at x=%v", x)
+		}
+		prev = c
+	}
+}
+
+func TestZeroMaxAbs(t *testing.T) {
+	q := NewQuantizer(8, 0)
+	if q.Scale != 1 {
+		t.Fatalf("zero-calibration scale = %v, want 1", q.Scale)
+	}
+}
+
+func TestUnsupportedBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1-bit quantizer")
+		}
+	}()
+	NewQuantizer(1, 1.0)
+}
+
+func TestQuantizeTensorLowBitsCoarser(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.Randn(rng, 1, 64)
+	errAt := func(bits int) float64 {
+		q := QuantizeTensor(x, bits)
+		sum := 0.0
+		for i := range x.Data() {
+			sum += math.Abs(q.Data()[i] - x.Data()[i])
+		}
+		return sum
+	}
+	if !(errAt(4) > errAt(6) && errAt(6) > errAt(8)) {
+		t.Fatalf("quantization error not decreasing with bits: 4b=%v 6b=%v 8b=%v",
+			errAt(4), errAt(6), errAt(8))
+	}
+}
+
+func TestBitPlanesRoundTrip(t *testing.T) {
+	for _, c := range []int64{0, 1, 5, 127, 200, 1023} {
+		bits := 11
+		if got := FromBitPlanes(BitPlanes(c, bits)); got != c {
+			t.Fatalf("bit-plane round trip: got %d, want %d", got, c)
+		}
+	}
+}
+
+func TestBitPlanesNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative code")
+		}
+	}()
+	BitPlanes(-1, 8)
+}
+
+func TestSignMagnitude(t *testing.T) {
+	if s, m := SignMagnitude(-5); s != -1 || m != 5 {
+		t.Fatalf("SignMagnitude(-5) = %d,%d", s, m)
+	}
+	if s, m := SignMagnitude(0); s != 1 || m != 0 {
+		t.Fatalf("SignMagnitude(0) = %d,%d", s, m)
+	}
+	if s, m := SignMagnitude(7); s != 1 || m != 7 {
+		t.Fatalf("SignMagnitude(7) = %d,%d", s, m)
+	}
+}
+
+func TestShiftAccumulator(t *testing.T) {
+	var s ShiftAccumulator
+	// Accumulate planes of the number 0b101 = 5 with partial sums 1,0,1.
+	s.Push(1)
+	s.Push(0)
+	s.Push(1)
+	if s.Value() != 5 {
+		t.Fatalf("ShiftAccumulator = %d, want 5", s.Value())
+	}
+	if s.Pushes() != 3 {
+		t.Fatalf("Pushes = %d, want 3", s.Pushes())
+	}
+	s.Reset()
+	if s.Value() != 0 || s.Pushes() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestBitSerialDotKnown(t *testing.T) {
+	a := []int64{3, -2, 5}
+	w := []int64{1, 4, -3}
+	want := 3 - 8 - 15
+	if got := BitSerialDot(a, w, 4); got != int64(want) {
+		t.Fatalf("BitSerialDot = %d, want %d", got, want)
+	}
+}
+
+// PROPERTY: bit-serial evaluation equals the plain integer dot product for
+// any vectors representable at the given bit depth — the correctness
+// guarantee behind INCA's macro-level arithmetic.
+func TestPropertyBitSerialMatchesDot(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 3 + rng.Intn(6)
+		n := 1 + rng.Intn(20)
+		max := int64(1)<<(bits-1) - 1
+		a := make([]int64, n)
+		w := make([]int64, n)
+		for i := range a {
+			a[i] = rng.Int63n(2*max+1) - max
+			w[i] = rng.Int63n(2*max+1) - max
+		}
+		return BitSerialDot(a, w, bits) == Dot(a, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: quantization error is bounded by half a scale step for inputs
+// within the calibrated range.
+func TestPropertyQuantizeErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 2 + rng.Intn(10)
+		maxAbs := rng.Float64()*10 + 0.1
+		q := NewQuantizer(bits, maxAbs)
+		x := rng.Float64()*2*maxAbs - maxAbs
+		return math.Abs(q.RoundTrip(x)-x) <= q.Scale/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: dequantize(quantize(x)) is idempotent — re-quantizing a
+// representable value returns it unchanged.
+func TestPropertyQuantizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuantizer(2+rng.Intn(10), rng.Float64()*5+0.1)
+		x := rng.NormFloat64()
+		once := q.RoundTrip(x)
+		return q.RoundTrip(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantizerRoundTrip fuzzes the quantizer invariants: clamping to the
+// code range, bounded error for in-range values, and idempotence.
+func FuzzQuantizerRoundTrip(f *testing.F) {
+	f.Add(uint8(8), 1.0, 0.5)
+	f.Add(uint8(4), 2.0, -1.9)
+	f.Add(uint8(2), 0.1, 100.0)
+	f.Fuzz(func(t *testing.T, rawBits uint8, maxAbs, x float64) {
+		bits := 2 + int(rawBits)%10
+		if math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) || math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		maxAbs = math.Abs(maxAbs)
+		if maxAbs > 1e12 {
+			t.Skip()
+		}
+		q := NewQuantizer(bits, maxAbs)
+		c := q.Quantize(x)
+		if c > q.MaxCode() || c < -q.MaxCode() {
+			t.Fatalf("code %d out of range for %d bits", c, bits)
+		}
+		v := q.Dequantize(c)
+		if math.Abs(x) <= maxAbs && math.Abs(v-x) > q.Scale/2+1e-9*math.Abs(x)+1e-12 {
+			t.Fatalf("round-trip error too large: x=%v v=%v scale=%v", x, v, q.Scale)
+		}
+		if got := q.RoundTrip(v); got != v {
+			t.Fatalf("idempotence violated: %v -> %v", v, got)
+		}
+	})
+}
+
+// FuzzBitSerialDot fuzzes the bit-serial/plain dot-product equivalence.
+func FuzzBitSerialDot(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3))
+	f.Add(int64(99), uint8(8), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, rawBits, rawLen uint8) {
+		bits := 3 + int(rawBits)%6
+		n := 1 + int(rawLen)%16
+		max := int64(1)<<(bits-1) - 1
+		a := make([]int64, n)
+		w := make([]int64, n)
+		s := uint64(seed)
+		next := func() int64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int64((s >> 33) % uint64(2*max+1))
+			return v - max
+		}
+		for i := range a {
+			a[i] = next()
+			w[i] = next()
+		}
+		if BitSerialDot(a, w, bits) != Dot(a, w) {
+			t.Fatalf("bit-serial dot mismatch for bits=%d n=%d", bits, n)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+// Package gpu models the non-RRAM comparison point of the paper's Fig. 15:
+// a Titan RTX described by the aggregate Table II specification (16.3
+// TFLOPs peak, 672 GB/s memory bandwidth, 280 W, 754 mm²), evaluated with
+// a roofline model.
+package gpu
+
+import (
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Spec carries the GPU datasheet values of Table II.
+type Spec struct {
+	Name            string
+	PeakFLOPs       float64 // FLOP/s
+	MemoryBandwidth float64 // bytes/s
+	Power           float64 // W (board power, assumed during execution)
+	AreaMM2         float64
+	BatchSize       int
+	// Efficiency is the fraction of peak FLOPs dense CNN kernels sustain
+	// (cuDNN-class kernels reach roughly 40-60% on this hardware).
+	Efficiency float64
+	// BytesPerMAC approximates DRAM traffic per MAC for a tiled GEMM
+	// implementation (weights + activations with cache reuse).
+	BytesPerMAC float64
+}
+
+// TitanRTX returns the Table II GPU configuration.
+func TitanRTX() Spec {
+	return Spec{
+		Name:            "TitanRTX",
+		PeakFLOPs:       16.3e12,
+		MemoryBandwidth: 672e9,
+		Power:           280,
+		AreaMM2:         754,
+		BatchSize:       64,
+		Efficiency:      0.5,
+		BytesPerMAC:     0.1,
+	}
+}
+
+// Machine adapts the spec to the sim.Simulator interface.
+type Machine struct {
+	Spec Spec
+}
+
+// New builds a GPU model.
+func New(s Spec) *Machine { return &Machine{Spec: s} }
+
+// Simulate estimates one batch with a roofline: time is the max of the
+// compute time (MACs at sustained FLOPs; training costs 3× forward MACs
+// for forward + input gradients + weight gradients) and the memory time,
+// and energy is board power × time.
+func (m *Machine) Simulate(net *nn.Network, phase sim.Phase) *sim.Report {
+	macs := float64(net.TotalMACs()) * float64(m.Spec.BatchSize)
+	if phase == sim.Training {
+		macs *= 3
+	}
+	flops := 2 * macs
+	computeTime := flops / (m.Spec.PeakFLOPs * m.Spec.Efficiency)
+	memTime := macs * m.Spec.BytesPerMAC / m.Spec.MemoryBandwidth
+	t := computeTime
+	if memTime > t {
+		t = memTime
+	}
+	var r metrics.Result
+	r.Latency = t
+	// The whole board draws power while the kernel runs; attribute it to
+	// the Digital component (the GPU has no breakdown in the paper).
+	r.Energy.Add(metrics.Digital, m.Spec.Power*t)
+	return &sim.Report{
+		Arch:    m.Spec.Name,
+		Network: net.Name,
+		Phase:   phase,
+		Batch:   m.Spec.BatchSize,
+		Total:   r,
+	}
+}
+
+// ThroughputPerArea returns images/s/mm² for an iso-area comparison
+// (Fig. 15b).
+func ThroughputPerArea(rep *sim.Report, areaMM2 float64) float64 {
+	if areaMM2 == 0 {
+		return 0
+	}
+	return rep.Throughput() / areaMM2
+}

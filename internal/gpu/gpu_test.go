@@ -1,0 +1,69 @@
+package gpu
+
+import (
+	"testing"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/core"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+func TestTitanRTXSpecMatchesTableII(t *testing.T) {
+	s := TitanRTX()
+	if s.PeakFLOPs != 16.3e12 || s.MemoryBandwidth != 672e9 || s.Power != 280 || s.AreaMM2 != 754 {
+		t.Fatal("Titan RTX spec mismatch with Table II")
+	}
+}
+
+func TestSimulateScalesWithWork(t *testing.T) {
+	m := New(TitanRTX())
+	small := m.Simulate(nn.ResNet18(), sim.Inference)
+	big := m.Simulate(nn.VGG16(), sim.Inference)
+	if big.Total.Latency <= small.Total.Latency {
+		t.Fatal("VGG16 should take longer than ResNet18")
+	}
+	trn := m.Simulate(nn.ResNet18(), sim.Training)
+	inf := m.Simulate(nn.ResNet18(), sim.Inference)
+	if trn.Total.Latency < 2.9*inf.Total.Latency || trn.Total.Latency > 3.1*inf.Total.Latency {
+		t.Fatalf("training should cost ~3x forward: %v vs %v", trn.Total.Latency, inf.Total.Latency)
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	m := New(TitanRTX())
+	r := m.Simulate(nn.VGG16(), sim.Training)
+	want := m.Spec.Power * r.Total.Latency
+	got := r.Total.Energy.Total()
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("energy = %v, want power×time = %v", got, want)
+	}
+}
+
+// TestFig15INCABeatsGPU pins the Fig. 15 comparison: in training, INCA is
+// both more energy-efficient and (per iso-area) higher-throughput than the
+// GPU, especially on light models.
+func TestFig15INCABeatsGPU(t *testing.T) {
+	g := New(TitanRTX())
+	inca := core.New(arch.INCA())
+	incaArea := arch.INCA().Area().Total()
+	for _, net := range nn.PaperModels() {
+		gr := g.Simulate(net, sim.Training)
+		ir := inca.Simulate(net, sim.Training)
+		if eff := ir.Total.EnergyEfficiencyVs(gr.Total); eff < 2 {
+			t.Errorf("%s: INCA/GPU energy efficiency = %.2f, want >= 2", net.Name, eff)
+		}
+		gpuTPA := ThroughputPerArea(gr, g.Spec.AreaMM2)
+		incaTPA := ThroughputPerArea(ir, incaArea)
+		if incaTPA <= gpuTPA {
+			t.Errorf("%s: INCA iso-area throughput %.2f should beat GPU %.2f",
+				net.Name, incaTPA, gpuTPA)
+		}
+	}
+}
+
+func TestThroughputPerAreaZeroArea(t *testing.T) {
+	if ThroughputPerArea(&sim.Report{}, 0) != 0 {
+		t.Fatal("zero area should not divide by zero")
+	}
+}

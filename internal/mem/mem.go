@@ -1,0 +1,139 @@
+// Package mem models the conventional memory side of a PIM accelerator:
+// on-chip buffers (SRAM/eDRAM scratchpads behind a fixed-width bus) and
+// off-chip HBM2 DRAM with the bandwidth-saturation latency behaviour the
+// paper motivates in Fig. 1b ("latency increases exponentially in the
+// region beyond 80% of the maximum sustained bandwidth").
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Buffer models an on-chip scratchpad accessed over a fixed-width bus.
+// Energy and latency are charged per bus beat; a transfer of n bits takes
+// ceil(n / BusWidthBits) beats (paper Eq. 5's ceil(... / bus_width) term).
+type Buffer struct {
+	CapacityBytes int64
+	BusWidthBits  int64
+	ReadEnergy    float64 // J per beat
+	WriteEnergy   float64 // J per beat
+	BeatLatency   float64 // s per beat
+}
+
+// Beats returns the number of bus beats needed to move bits of data.
+func (b Buffer) Beats(bits int64) int64 {
+	if bits < 0 {
+		panic(fmt.Sprintf("mem: negative transfer size %d", bits))
+	}
+	if bits == 0 {
+		return 0
+	}
+	return (bits + b.BusWidthBits - 1) / b.BusWidthBits
+}
+
+// ReadCost returns the energy (J) and latency (s) of reading bits of data.
+func (b Buffer) ReadCost(bits int64) (energy, latency float64) {
+	n := float64(b.Beats(bits))
+	return n * b.ReadEnergy, n * b.BeatLatency
+}
+
+// WriteCost returns the energy (J) and latency (s) of writing bits of data.
+func (b Buffer) WriteCost(bits int64) (energy, latency float64) {
+	n := float64(b.Beats(bits))
+	return n * b.WriteEnergy, n * b.BeatLatency
+}
+
+// Fits reports whether a working set of the given bytes fits on chip.
+func (b Buffer) Fits(bytes int64) bool { return bytes <= b.CapacityBytes }
+
+// DRAM models an HBM2 device by aggregate cost: a per-byte access energy
+// (the paper adopts 32 pJ per 8 bits from NeuroSim+) plus a latency model
+// with a saturation knee.
+type DRAM struct {
+	EnergyPerByte float64 // J/byte
+	PeakBandwidth float64 // bytes/s sustained
+	BaseLatency   float64 // s, unloaded access latency
+	// Knee is the utilization fraction beyond which queueing dominates
+	// (0.8 in the paper's Fig. 1b citation of Li et al. and Srinivasan).
+	Knee float64
+}
+
+// Energy returns the access energy for moving bytes of data.
+func (d DRAM) Energy(bytes int64) float64 {
+	return float64(bytes) * d.EnergyPerByte
+}
+
+// LatencyAt returns the effective per-access latency at a given fraction of
+// sustained bandwidth. Below the knee the latency grows gently and linearly
+// (constant service time plus light queueing); beyond the knee it follows
+// an M/M/1-style 1/(1-u) blow-up, reproducing the hockey-stick of Fig. 1b.
+func (d DRAM) LatencyAt(utilization float64) float64 {
+	if utilization < 0 {
+		panic(fmt.Sprintf("mem: negative utilization %v", utilization))
+	}
+	u := math.Min(utilization, 0.999)
+	linear := d.BaseLatency * (1 + 0.25*u/d.Knee)
+	if u <= d.Knee {
+		return linear
+	}
+	// Continuous at the knee: scale the queueing term so it equals the
+	// linear value at u = Knee and diverges as u -> 1.
+	atKnee := d.BaseLatency * 1.25
+	return atKnee * (1 - d.Knee) / (1 - u)
+}
+
+// TransferTime returns the wall-clock time to move bytes at the given
+// background utilization: streaming time plus the loaded access latency.
+func (d DRAM) TransferTime(bytes int64, utilization float64) float64 {
+	return float64(bytes)/d.PeakBandwidth + d.LatencyAt(utilization)
+}
+
+// Hierarchy couples a buffer with its backing DRAM and answers the
+// question the simulators ask: what does it cost to move a working set of
+// a given size, given how much of it is buffer-resident?
+type Hierarchy struct {
+	Buf  Buffer
+	Dram DRAM
+}
+
+// TrafficCost returns the energy split between buffer and DRAM plus the
+// total latency for transferring `bits` of data of which `residentFrac`
+// (0..1) is served by the on-chip buffer and the remainder spills to DRAM.
+func (h Hierarchy) TrafficCost(bits int64, residentFrac float64, write bool) (bufJ, dramJ, latency float64) {
+	if residentFrac < 0 || residentFrac > 1 {
+		panic(fmt.Sprintf("mem: residentFrac %v out of range", residentFrac))
+	}
+	bufBits := int64(float64(bits) * residentFrac)
+	dramBits := bits - bufBits
+	if write {
+		bufJ, latency = h.Buf.WriteCost(bufBits)
+	} else {
+		bufJ, latency = h.Buf.ReadCost(bufBits)
+	}
+	dramBytes := (dramBits + 7) / 8
+	dramJ = h.Dram.Energy(dramBytes)
+	// DRAM traffic is charged an extra buffer pass (staging through the
+	// scratchpad) plus the streaming time.
+	if dramBits > 0 {
+		stageJ, stageLat := h.Buf.WriteCost(dramBits)
+		if write {
+			stageJ, stageLat = h.Buf.ReadCost(dramBits)
+		}
+		bufJ += stageJ
+		latency += stageLat + h.Dram.TransferTime(dramBytes, 0.5)
+	}
+	return bufJ, dramJ, latency
+}
+
+// ResidentFraction computes what fraction of a working set of the given
+// size is served on-chip: 1 if it fits, otherwise capacity/size.
+func (h Hierarchy) ResidentFraction(workingSetBytes int64) float64 {
+	if workingSetBytes <= 0 {
+		return 1
+	}
+	if h.Buf.Fits(workingSetBytes) {
+		return 1
+	}
+	return float64(h.Buf.CapacityBytes) / float64(workingSetBytes)
+}

@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testBuffer() Buffer {
+	return Buffer{
+		CapacityBytes: 64 * 1024,
+		BusWidthBits:  256,
+		ReadEnergy:    50e-12,
+		WriteEnergy:   60e-12,
+		BeatLatency:   1e-9,
+	}
+}
+
+func testDRAM() DRAM {
+	return DRAM{
+		EnergyPerByte: 32e-12,
+		PeakBandwidth: 256e9,
+		BaseLatency:   100e-9,
+		Knee:          0.8,
+	}
+}
+
+func TestBufferBeats(t *testing.T) {
+	b := testBuffer()
+	cases := []struct{ bits, want int64 }{
+		{0, 0}, {1, 1}, {256, 1}, {257, 2}, {512, 2}, {1000, 4},
+	}
+	for _, c := range cases {
+		if got := b.Beats(c.bits); got != c.want {
+			t.Errorf("Beats(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestBufferBeatsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testBuffer().Beats(-1)
+}
+
+func TestBufferCosts(t *testing.T) {
+	b := testBuffer()
+	e, l := b.ReadCost(512) // 2 beats
+	if math.Abs(e-100e-12) > 1e-20 || math.Abs(l-2e-9) > 1e-20 {
+		t.Fatalf("ReadCost = %v, %v", e, l)
+	}
+	e, _ = b.WriteCost(512)
+	if math.Abs(e-120e-12) > 1e-20 {
+		t.Fatalf("WriteCost = %v", e)
+	}
+}
+
+func TestBufferFits(t *testing.T) {
+	b := testBuffer()
+	if !b.Fits(64 * 1024) {
+		t.Fatal("exact capacity should fit")
+	}
+	if b.Fits(64*1024 + 1) {
+		t.Fatal("over capacity should not fit")
+	}
+}
+
+func TestDRAMEnergyIs32pJPerByte(t *testing.T) {
+	d := testDRAM()
+	if got := d.Energy(1); math.Abs(got-32e-12) > 1e-24 {
+		t.Fatalf("Energy(1 byte) = %v, want 32pJ", got)
+	}
+}
+
+// TestDRAMLatencyHockeyStick verifies the Fig. 1b shape: gentle growth
+// before the 80% knee, steep superlinear growth after it.
+func TestDRAMLatencyHockeyStick(t *testing.T) {
+	d := testDRAM()
+	l0 := d.LatencyAt(0)
+	l50 := d.LatencyAt(0.5)
+	l80 := d.LatencyAt(0.8)
+	l90 := d.LatencyAt(0.9)
+	l99 := d.LatencyAt(0.99)
+	if !(l0 < l50 && l50 < l80 && l80 < l90 && l90 < l99) {
+		t.Fatalf("latency not monotone: %v %v %v %v %v", l0, l50, l80, l90, l99)
+	}
+	// Pre-knee growth is mild (<2x), post-knee is explosive.
+	if l80/l0 > 2 {
+		t.Fatalf("pre-knee growth too steep: %v", l80/l0)
+	}
+	if l99/l80 < 5 {
+		t.Fatalf("post-knee growth too shallow: %v", l99/l80)
+	}
+}
+
+func TestDRAMLatencyContinuousAtKnee(t *testing.T) {
+	d := testDRAM()
+	below := d.LatencyAt(d.Knee - 1e-9)
+	above := d.LatencyAt(d.Knee + 1e-9)
+	if math.Abs(below-above)/below > 1e-6 {
+		t.Fatalf("discontinuity at knee: %v vs %v", below, above)
+	}
+}
+
+func TestDRAMTransferTime(t *testing.T) {
+	d := testDRAM()
+	tt := d.TransferTime(256e9, 0) // 1 second of streaming plus latency
+	if tt < 1.0 || tt > 1.001 {
+		t.Fatalf("TransferTime = %v, want ~1s", tt)
+	}
+}
+
+func TestHierarchyAllResident(t *testing.T) {
+	h := Hierarchy{Buf: testBuffer(), Dram: testDRAM()}
+	bufJ, dramJ, _ := h.TrafficCost(1024, 1.0, false)
+	if dramJ != 0 {
+		t.Fatalf("fully resident traffic should not touch DRAM: %v", dramJ)
+	}
+	if bufJ <= 0 {
+		t.Fatal("buffer energy should be positive")
+	}
+}
+
+func TestHierarchySpill(t *testing.T) {
+	h := Hierarchy{Buf: testBuffer(), Dram: testDRAM()}
+	bufAll, _, latAll := h.TrafficCost(8192, 1.0, false)
+	bufHalf, dramHalf, latHalf := h.TrafficCost(8192, 0.5, false)
+	if dramHalf <= 0 {
+		t.Fatal("spilled traffic must charge DRAM")
+	}
+	if latHalf <= latAll {
+		t.Fatal("spilling must increase latency")
+	}
+	if bufHalf+dramHalf <= bufAll {
+		t.Fatal("spilling must increase total energy")
+	}
+}
+
+func TestHierarchyResidentFraction(t *testing.T) {
+	h := Hierarchy{Buf: testBuffer(), Dram: testDRAM()}
+	if f := h.ResidentFraction(1024); f != 1 {
+		t.Fatalf("small set fraction = %v, want 1", f)
+	}
+	if f := h.ResidentFraction(128 * 1024); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("2x capacity fraction = %v, want 0.5", f)
+	}
+	if f := h.ResidentFraction(0); f != 1 {
+		t.Fatalf("empty set fraction = %v, want 1", f)
+	}
+}
+
+// PROPERTY: beats is monotone and sub-additive:
+// Beats(a+b) <= Beats(a)+Beats(b).
+func TestPropertyBeats(t *testing.T) {
+	b := testBuffer()
+	f := func(a, c uint32) bool {
+		x, y := int64(a), int64(c)
+		if b.Beats(x+y) > b.Beats(x)+b.Beats(y) {
+			return false
+		}
+		return b.Beats(x+y) >= b.Beats(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: DRAM latency is monotone non-decreasing in utilization.
+func TestPropertyDRAMLatencyMonotone(t *testing.T) {
+	d := testDRAM()
+	f := func(a, b uint16) bool {
+		ua := float64(a) / 65536
+		ub := float64(b) / 65536
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return d.LatencyAt(ua) <= d.LatencyAt(ub)+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: traffic cost decomposes monotonically with resident fraction —
+// more on-chip residency never increases total energy.
+func TestPropertyResidencyMonotone(t *testing.T) {
+	h := Hierarchy{Buf: testBuffer(), Dram: testDRAM()}
+	f := func(bits uint16, fa, fb uint8) bool {
+		a := float64(fa) / 255
+		b := float64(fb) / 255
+		if a > b {
+			a, b = b, a
+		}
+		bufA, dramA, _ := h.TrafficCost(int64(bits), a, false)
+		bufB, dramB, _ := h.TrafficCost(int64(bits), b, false)
+		return bufB+dramB <= bufA+dramA+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

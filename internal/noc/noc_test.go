@@ -1,0 +1,120 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tree() HTree { return Standard(8, 12, 168) }
+
+func TestStandardStructure(t *testing.T) {
+	h := tree()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Leaves() != 8*12*168 {
+		t.Fatalf("Leaves = %d, want %d", h.Leaves(), 8*12*168)
+	}
+	// Wire costs double per level.
+	for i := 1; i < len(h.HopEnergy); i++ {
+		if h.HopEnergy[i] != 2*h.HopEnergy[i-1] {
+			t.Fatalf("hop energy not doubling at level %d", i)
+		}
+		if h.HopLatency[i] != 2*h.HopLatency[i-1] {
+			t.Fatalf("hop latency not doubling at level %d", i)
+		}
+	}
+}
+
+func TestLevelsFor(t *testing.T) {
+	h := tree()
+	cases := []struct {
+		operands int64
+		want     int
+	}{
+		{1, 0}, {2, 1}, {8, 1}, {9, 2}, {96, 2}, {97, 3}, {16128, 3}, {1 << 40, 3},
+	}
+	for _, c := range cases {
+		if got := h.LevelsFor(c.operands); got != c.want {
+			t.Errorf("LevelsFor(%d) = %d, want %d", c.operands, got, c.want)
+		}
+	}
+}
+
+func TestReduceCostGrowth(t *testing.T) {
+	h := tree()
+	e0, l0 := h.ReduceCost(1)
+	if e0 != 0 || l0 != 0 {
+		t.Fatal("single operand needs no reduction")
+	}
+	e8, l8 := h.ReduceCost(8)
+	e96, l96 := h.ReduceCost(96)
+	if e96 <= e8 || l96 <= l8 {
+		t.Fatal("wider reductions must cost more")
+	}
+	// A macro-local reduction touches only level-0 wires.
+	if l8 != h.HopLatency[0] {
+		t.Fatalf("macro-local latency = %v, want one level-0 hop", l8)
+	}
+}
+
+func TestBroadcastCost(t *testing.T) {
+	h := tree()
+	if e, l := h.BroadcastCost(0); e != 0 || l != 0 {
+		t.Fatal("no targets, no cost")
+	}
+	e1, _ := h.BroadcastCost(8)
+	e2, _ := h.BroadcastCost(16128)
+	if e2 <= e1 {
+		t.Fatal("chip-wide broadcast must cost more than macro-local")
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	if (HTree{}).Validate() == nil {
+		t.Fatal("empty tree should fail")
+	}
+	h := tree()
+	h.Fanins[0] = 0
+	if h.Validate() == nil {
+		t.Fatal("zero fan-in should fail")
+	}
+	h = tree()
+	h.HopEnergy = h.HopEnergy[:1]
+	if h.Validate() == nil {
+		t.Fatal("mismatched level costs should fail")
+	}
+}
+
+// PROPERTY: reduce cost is monotone in operand count.
+func TestPropertyReduceMonotone(t *testing.T) {
+	h := tree()
+	f := func(a, b uint16) bool {
+		x, y := int64(a)+1, int64(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		ex, lx := h.ReduceCost(x)
+		ey, ly := h.ReduceCost(y)
+		return ex <= ey+1e-18 && lx <= ly+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: reduction latency is bounded by the full-tree critical path.
+func TestPropertyLatencyBounded(t *testing.T) {
+	h := tree()
+	full := 0.0
+	for _, l := range h.HopLatency {
+		full += l
+	}
+	f := func(a uint32) bool {
+		_, l := h.ReduceCost(int64(a))
+		return l <= full+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package place implements the paper's inter-layer mapping (§IV.C):
+// layers are assigned to the accelerator sequentially, each starting from
+// a fresh PIM macro so activation writes can overlap computation without
+// bus contention. The placer reports macro-alignment fragmentation and how
+// many chip "rounds" (time-multiplex passes) a network needs when its
+// array demand exceeds the chip.
+package place
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Demand is one layer's array requirement.
+type Demand struct {
+	Layer  string
+	Arrays int64 // 3D arrays (or crossbars) needed
+}
+
+// Assignment records where one layer landed.
+type Assignment struct {
+	Layer      string
+	Arrays     int64
+	Macros     int64 // macros allocated (ceil of arrays / arraysPerMacro)
+	Round      int   // which chip pass this layer executes in (0-based)
+	StartMacro int64 // first macro index within its round
+}
+
+// Placement is a full network's sequential mapping.
+type Placement struct {
+	Assignments    []Assignment
+	ArraysPerMacro int64
+	TotalMacros    int64
+	Rounds         int // chip passes needed (1 = everything resident)
+}
+
+// Place maps the demands sequentially onto a chip of totalMacros macros
+// with arraysPerMacro arrays each. A layer that does not fit in the
+// remaining macros of the current round starts a new round (the arrays are
+// time-multiplexed: earlier layers' activations have already been consumed
+// and their cells recycled).
+func Place(demands []Demand, arraysPerMacro, totalMacros int64) Placement {
+	if arraysPerMacro < 1 || totalMacros < 1 {
+		panic(fmt.Sprintf("place: invalid chip geometry %d/%d", arraysPerMacro, totalMacros))
+	}
+	p := Placement{ArraysPerMacro: arraysPerMacro, TotalMacros: totalMacros, Rounds: 1}
+	var cursor int64
+	round := 0
+	for _, d := range demands {
+		macros := (d.Arrays + arraysPerMacro - 1) / arraysPerMacro
+		if macros > totalMacros {
+			// The layer alone exceeds the chip: it occupies whole rounds.
+			extraRounds := int((macros - 1) / totalMacros)
+			if cursor > 0 {
+				round++
+				cursor = 0
+			}
+			p.Assignments = append(p.Assignments, Assignment{
+				Layer: d.Layer, Arrays: d.Arrays, Macros: macros,
+				Round: round, StartMacro: 0,
+			})
+			round += extraRounds + 1
+			cursor = 0
+			continue
+		}
+		if cursor+macros > totalMacros {
+			round++
+			cursor = 0
+		}
+		p.Assignments = append(p.Assignments, Assignment{
+			Layer: d.Layer, Arrays: d.Arrays, Macros: macros,
+			Round: round, StartMacro: cursor,
+		})
+		cursor += macros
+	}
+	lastRound := 0
+	for _, a := range p.Assignments {
+		extra := int((a.Macros - 1) / totalMacros)
+		if a.Round+extra > lastRound {
+			lastRound = a.Round + extra
+		}
+	}
+	p.Rounds = lastRound + 1
+	return p
+}
+
+// TotalArrays returns the summed array demand.
+func (p Placement) TotalArrays() int64 {
+	var s int64
+	for _, a := range p.Assignments {
+		s += a.Arrays
+	}
+	return s
+}
+
+// Fragmentation returns the fraction of allocated macro capacity wasted by
+// the start-each-layer-at-a-new-macro alignment.
+func (p Placement) Fragmentation() float64 {
+	var used, allocated int64
+	for _, a := range p.Assignments {
+		used += a.Arrays
+		allocated += a.Macros * p.ArraysPerMacro
+	}
+	if allocated == 0 {
+		return 0
+	}
+	return 1 - float64(used)/float64(allocated)
+}
+
+// String renders a placement summary.
+func (p Placement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement: %d layers, %d arrays over %d rounds (chip: %d macros x %d arrays), fragmentation %.1f%%\n",
+		len(p.Assignments), p.TotalArrays(), p.Rounds, p.TotalMacros, p.ArraysPerMacro,
+		100*p.Fragmentation())
+	for _, a := range p.Assignments {
+		fmt.Fprintf(&b, "  %-12s round %d, macros %d..%d (%d arrays)\n",
+			a.Layer, a.Round, a.StartMacro, a.StartMacro+a.Macros-1, a.Arrays)
+	}
+	return b.String()
+}

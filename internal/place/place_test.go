@@ -1,0 +1,120 @@
+package place
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlaceSequential(t *testing.T) {
+	p := Place([]Demand{
+		{"a", 10}, {"b", 5}, {"c", 8},
+	}, 8, 4) // 4 macros of 8 arrays each = 32 arrays/round
+	if p.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", p.Rounds)
+	}
+	// a needs 2 macros (10/8), b needs 1, c needs 1.
+	wantStarts := []int64{0, 2, 3}
+	for i, a := range p.Assignments {
+		if a.StartMacro != wantStarts[i] {
+			t.Fatalf("layer %s starts at macro %d, want %d", a.Layer, a.StartMacro, wantStarts[i])
+		}
+		if a.Round != 0 {
+			t.Fatalf("layer %s in round %d, want 0", a.Layer, a.Round)
+		}
+	}
+}
+
+func TestPlaceWrapsToNewRound(t *testing.T) {
+	p := Place([]Demand{
+		{"a", 16}, {"b", 16}, {"c", 16},
+	}, 8, 4) // each layer needs 2 macros; 3 layers need 6 > 4 macros
+	if p.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", p.Rounds)
+	}
+	if p.Assignments[2].Round != 1 || p.Assignments[2].StartMacro != 0 {
+		t.Fatalf("layer c placement = %+v", p.Assignments[2])
+	}
+}
+
+func TestPlaceGiantLayer(t *testing.T) {
+	// One layer needing 3 chips' worth of macros.
+	p := Place([]Demand{
+		{"small", 4},
+		{"giant", 8 * 4 * 3},
+		{"after", 4},
+	}, 8, 4)
+	if p.Rounds < 4 {
+		t.Fatalf("rounds = %d, want >= 4 (giant spans 3)", p.Rounds)
+	}
+	// The layer after the giant starts in a fresh round.
+	last := p.Assignments[2]
+	if last.Round <= p.Assignments[1].Round {
+		t.Fatalf("layer after giant should be in a later round: %+v", last)
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	// One array per layer on 8-array macros: 7/8 of each macro wasted.
+	p := Place([]Demand{{"a", 1}, {"b", 1}}, 8, 10)
+	if f := p.Fragmentation(); f != 1-2.0/16 {
+		t.Fatalf("fragmentation = %v, want %v", f, 1-2.0/16)
+	}
+	// Exact fill: zero waste.
+	p2 := Place([]Demand{{"a", 8}}, 8, 10)
+	if p2.Fragmentation() != 0 {
+		t.Fatalf("exact fill fragmentation = %v", p2.Fragmentation())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := Place([]Demand{{"conv1", 10}}, 8, 4)
+	s := p.String()
+	if !strings.Contains(s, "conv1") || !strings.Contains(s, "rounds") {
+		t.Fatalf("summary missing fields:\n%s", s)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Place(nil, 0, 4)
+}
+
+// PROPERTY: no two same-round assignments overlap, and every layer gets
+// enough macros.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		var demands []Demand
+		for i, r := range raw {
+			demands = append(demands, Demand{Layer: string(rune('a' + i%26)), Arrays: int64(r%50) + 1})
+		}
+		p := Place(demands, 8, 6)
+		type span struct{ lo, hi int64 }
+		byRound := map[int][]span{}
+		for _, a := range p.Assignments {
+			if a.Macros*8 < a.Arrays {
+				return false
+			}
+			if a.Macros <= 6 { // chip-sized layers checked for overlap
+				s := span{a.StartMacro, a.StartMacro + a.Macros}
+				for _, o := range byRound[a.Round] {
+					if s.lo < o.hi && o.lo < s.hi {
+						return false
+					}
+				}
+				byRound[a.Round] = append(byRound[a.Round], s)
+			}
+		}
+		return p.Rounds >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package report renders experiment results as aligned text tables and
+// labeled series — the rows and curves the paper's tables and figures
+// present, printed by the benchmark harness and the cmd tools.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New builds an empty table.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row, formatting each value with Cell.
+func (t *Table) AddRow(vals ...any) *Table {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		row[i] = Cell(v)
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Cell formats one value: floats get adaptive precision, everything else
+// uses the default formatting.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case float64:
+		switch {
+		case x == 0:
+			return "0"
+		case x >= 1000 || x <= -1000:
+			return fmt.Sprintf("%.0f", x)
+		case x >= 10 || x <= -10:
+			return fmt.Sprintf("%.1f", x)
+		case x >= 0.01 || x <= -0.01:
+			return fmt.Sprintf("%.3f", x)
+		default:
+			return fmt.Sprintf("%.2e", x)
+		}
+	case float32:
+		return Cell(float64(x))
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a titled collection of series sharing an x-axis meaning.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, x, y []float64) *Figure {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+	return f
+}
+
+// String renders the figure as a table of x versus one column per series.
+func (f *Figure) String() string {
+	if len(f.Series) == 0 {
+		return f.Title + " (empty)\n"
+	}
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	t := New(fmt.Sprintf("%s [y: %s]", f.Title, f.YLabel), headers...)
+	base := f.Series[0]
+	for i := range base.X {
+		row := []any{base.X[i]}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}

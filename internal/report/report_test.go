@@ -1,0 +1,63 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := New("Title", "name", "value")
+	tab.AddRow("short", 1.5)
+	tab.AddRow("a-much-longer-name", 20000.0)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Title") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// Value column starts at the same offset in both data rows.
+	off1 := strings.Index(lines[3], "1.5")
+	off2 := strings.Index(lines[4], "20000")
+	if off1 != off2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", off1, off2, s)
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{0.0, "0"},
+		{12345.0, "12345"},
+		{42.42, "42.4"},
+		{0.5, "0.500"},
+		{0.0001, "1.00e-04"},
+		{"text", "text"},
+		{7, "7"},
+		{float32(10.5), "10.5"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := &Figure{Title: "Fig X", XLabel: "size", YLabel: "util"}
+	f.Add("INCA", []float64{8, 16}, []float64{0.95, 0.9})
+	f.Add("WS", []float64{8, 16}, []float64{0.5})
+	s := f.String()
+	for _, want := range []string{"Fig X", "size", "INCA", "WS", "0.950", "-"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, s)
+		}
+	}
+	empty := &Figure{Title: "none"}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Fatal("empty figure should say so")
+	}
+}

@@ -1,0 +1,140 @@
+package rram
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// Stats counts the device events an array has performed; the analytical
+// simulators convert these to energy via the Device cost model.
+type Stats struct {
+	CellReads  int64 // individual cell read events
+	CellWrites int64 // individual cell write (program) events
+	Outputs    int64 // analog outputs produced (ADC conversions needed)
+}
+
+// Plus returns the field-wise sum.
+func (s Stats) Plus(o Stats) Stats {
+	return Stats{
+		CellReads:  s.CellReads + o.CellReads,
+		CellWrites: s.CellWrites + o.CellWrites,
+		Outputs:    s.Outputs + o.Outputs,
+	}
+}
+
+// Crossbar is the conventional weight-stationary 1T1R array: weights are
+// programmed once and inputs stream along the rows; each column wire sums
+// the cell currents, producing one dot product per column (ISAAC-class
+// operation, paper Fig. 5b).
+//
+// Signed weights are represented functionally as signed stored values; a
+// physical design realizes the sign with a differential column pair, which
+// the analytical model accounts for separately.
+type Crossbar struct {
+	Rows, Cols int
+	cells      []float64 // rows × cols, row-major
+	noise      *NoiseModel
+	quantize   func(float64) float64
+	stats      Stats
+}
+
+// NewCrossbar builds an empty rows×cols crossbar.
+func NewCrossbar(rows, cols int) *Crossbar {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("rram: invalid crossbar size %dx%d", rows, cols))
+	}
+	return &Crossbar{Rows: rows, Cols: cols, cells: make([]float64, rows*cols)}
+}
+
+// SetNoise attaches a device nonideality model applied at program time
+// (weight-side noise — the WS vulnerability of Table VI).
+func (c *Crossbar) SetNoise(n *NoiseModel) { c.noise = n }
+
+// SetQuantizer attaches an ADC transfer function applied to every column
+// output. Nil means an ideal converter.
+func (c *Crossbar) SetQuantizer(q func(float64) float64) { c.quantize = q }
+
+// Program writes the weight matrix w [rows, cols] into the array. The
+// optional noise model perturbs each stored value, emulating nonideal
+// programming.
+func (c *Crossbar) Program(w *tensor.Tensor) {
+	if w.Rank() != 2 || w.Dim(0) != c.Rows || w.Dim(1) != c.Cols {
+		panic(fmt.Sprintf("rram: Program wants [%d %d], got %v", c.Rows, c.Cols, w.Dims()))
+	}
+	scale := w.MaxAbs()
+	for i, v := range w.Data() {
+		if c.noise != nil {
+			v = c.noise.Perturb(v, scale)
+		}
+		c.cells[i] = v
+	}
+	c.stats.CellWrites += int64(len(c.cells))
+}
+
+// MVM drives the input vector x [rows] onto the rows and returns the
+// column current sums [cols] after optional ADC quantization.
+func (c *Crossbar) MVM(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 1 || x.Dim(0) != c.Rows {
+		panic(fmt.Sprintf("rram: MVM wants [%d], got %v", c.Rows, x.Dims()))
+	}
+	out := tensor.New(c.Cols)
+	for r := 0; r < c.Rows; r++ {
+		xv := x.Data()[r]
+		if xv == 0 {
+			continue
+		}
+		row := c.cells[r*c.Cols : (r+1)*c.Cols]
+		for col, g := range row {
+			out.Data()[col] += xv * g
+		}
+	}
+	if c.quantize != nil {
+		out.Apply(c.quantize)
+	}
+	c.stats.CellReads += int64(c.Rows) * int64(c.Cols)
+	c.stats.Outputs += int64(c.Cols)
+	return out
+}
+
+// Stats returns the accumulated event counts.
+func (c *Crossbar) Stats() Stats { return c.stats }
+
+// UsedFraction returns the fraction of cells holding nonzero weights — the
+// utilization figure behind Fig. 16b's WS collapse on light models.
+func (c *Crossbar) UsedFraction() float64 {
+	n := 0
+	for _, v := range c.cells {
+		if v != 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.cells))
+}
+
+// UniformQuantizer returns an ADC transfer function with 2^bits uniform
+// levels over [-fullScale, fullScale], clamping out-of-range inputs — the
+// behaviour of a real converter fed a too-large column current.
+func UniformQuantizer(bits int, fullScale float64) func(float64) float64 {
+	if bits < 1 || fullScale <= 0 {
+		panic(fmt.Sprintf("rram: invalid quantizer (%d bits, %v full-scale)", bits, fullScale))
+	}
+	levels := float64(int64(1) << (bits - 1))
+	step := fullScale / levels
+	return func(v float64) float64 {
+		if v > fullScale {
+			v = fullScale
+		} else if v < -fullScale {
+			v = -fullScale
+		}
+		q := float64(int64(v/step+copysign05(v))) * step
+		return q
+	}
+}
+
+func copysign05(v float64) float64 {
+	if v < 0 {
+		return -0.5
+	}
+	return 0.5
+}

@@ -1,0 +1,86 @@
+package rram
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// Crossbar1R models a selector-less (1R) crossbar to demonstrate the
+// sneak-path problem the paper's §II.A and §IV.A discuss: "The sneak path
+// current is inevitable in 1R-based arrays because RRAM is like a variable
+// resistor ... 1T1R has become a standard in RRAM crossbar design to avoid
+// the sneak path current issue" — and INCA's 2T1R "releases the concern of
+// sneak path current by employing transistors".
+//
+// The model adds, per column read, a parasitic current proportional to the
+// total conductance of the unselected cells: current from driven rows
+// leaks through undriven rows' cells back into the measured column. The
+// leak factor abstracts the voltage dividers of the three-cell sneak
+// loops.
+type Crossbar1R struct {
+	rows, cols int
+	cells      []float64
+	// LeakFactor scales the parasitic contribution (0 = ideal; real
+	// selector-less arrays see percents).
+	LeakFactor float64
+}
+
+// NewCrossbar1R builds a selector-less rows×cols crossbar.
+func NewCrossbar1R(rows, cols int, leak float64) *Crossbar1R {
+	if rows <= 0 || cols <= 0 || leak < 0 {
+		panic(fmt.Sprintf("rram: invalid 1R crossbar %dx%d leak %v", rows, cols, leak))
+	}
+	return &Crossbar1R{rows: rows, cols: cols, cells: make([]float64, rows*cols), LeakFactor: leak}
+}
+
+// Program writes the weight matrix (values act as conductances).
+func (c *Crossbar1R) Program(w *tensor.Tensor) {
+	if w.Rank() != 2 || w.Dim(0) != c.rows || w.Dim(1) != c.cols {
+		panic(fmt.Sprintf("rram: Program wants [%d %d], got %v", c.rows, c.cols, w.Dims()))
+	}
+	copy(c.cells, w.Data())
+}
+
+// MVM drives x on the rows and returns the column currents including the
+// sneak-path error term.
+func (c *Crossbar1R) MVM(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 1 || x.Dim(0) != c.rows {
+		panic(fmt.Sprintf("rram: MVM wants [%d], got %v", c.rows, x.Dims()))
+	}
+	out := tensor.New(c.cols)
+	// Ideal term.
+	for r := 0; r < c.rows; r++ {
+		xv := x.At(r)
+		for col := 0; col < c.cols; col++ {
+			out.Set(out.At(col)+xv*c.cells[r*c.cols+col], col)
+		}
+	}
+	if c.LeakFactor == 0 {
+		return out
+	}
+	// Sneak term: driven current leaks through the mesh of unselected
+	// cells. The aggregate alternative-path conductance seen by a column
+	// grows with the array's total stored conductance and with the drive
+	// level.
+	var totalG, drive float64
+	for _, g := range c.cells {
+		if g > 0 {
+			totalG += g
+		} else {
+			totalG -= g
+		}
+	}
+	for _, v := range x.Data() {
+		if v > 0 {
+			drive += v
+		} else {
+			drive -= v
+		}
+	}
+	sneak := c.LeakFactor * drive * totalG / float64(c.rows*c.cols)
+	for col := 0; col < c.cols; col++ {
+		out.Set(out.At(col)+sneak, col)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package rram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// TestSneakPathMotivatesSelectors demonstrates §II.A/§IV.A: a
+// selector-less 1R crossbar's outputs deviate from the ideal MVM, the
+// deviation grows with array size, and the transistor-gated crossbar
+// (1T1R/2T1R) stays exact.
+func TestSneakPathMotivatesSelectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	errAt := func(n int) float64 {
+		w := tensor.Uniform(rng, 0, 1, n, n)
+		x := tensor.Uniform(rng, 0, 1, n)
+
+		gated := NewCrossbar(n, n)
+		gated.Program(w)
+		ideal := gated.MVM(x)
+
+		bare := NewCrossbar1R(n, n, 0.02)
+		bare.Program(w)
+		leaky := bare.MVM(x)
+
+		sum := 0.0
+		for i := range ideal.Data() {
+			sum += math.Abs(leaky.Data()[i] - ideal.Data()[i])
+		}
+		return sum / float64(n)
+	}
+	small := errAt(8)
+	large := errAt(64)
+	if small <= 0 {
+		t.Fatal("1R array should show sneak-path error")
+	}
+	if large <= small {
+		t.Fatalf("sneak error should grow with array size: %v vs %v", large, small)
+	}
+}
+
+func TestSneakZeroLeakIsIdeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	w := tensor.Uniform(rng, 0, 1, 8, 8)
+	x := tensor.Uniform(rng, 0, 1, 8)
+	bare := NewCrossbar1R(8, 8, 0)
+	bare.Program(w)
+	gated := NewCrossbar(8, 8)
+	gated.Program(w)
+	if !bare.MVM(x).Equal(gated.MVM(x), 1e-12) {
+		t.Fatal("zero-leak 1R should equal the gated crossbar")
+	}
+}
+
+func TestSneakInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCrossbar1R(0, 8, 0.1)
+}

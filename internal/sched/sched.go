@@ -1,0 +1,162 @@
+// Package sched builds execution schedules for the two dataflows: the
+// ISAAC-style layer pipeline the WS baseline uses for inference (one image
+// per stage, successive images chasing each other through the layers), the
+// serialized schedule its training forces, and INCA's batch-parallel
+// layer sequence. It produces per-(image, stage) timelines and an ASCII
+// Gantt rendering for inspection.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stage is one pipeline stage (a layer mapped on some hardware).
+type Stage struct {
+	Name    string
+	Latency float64 // seconds per item
+}
+
+// Entry is one scheduled execution of a stage for one item.
+type Entry struct {
+	Stage string
+	Item  int // image index
+	Start float64
+	End   float64
+}
+
+// LayerPipeline schedules items through the stages with unbounded
+// inter-stage buffering: stage s of item i starts when both stage s-1 of
+// item i and stage s of item i-1 have finished. This is the WS inference
+// pipeline; its makespan equals Σ latencies + (items−1) × bottleneck.
+func LayerPipeline(stages []Stage, items int) []Entry {
+	if items <= 0 || len(stages) == 0 {
+		return nil
+	}
+	entries := make([]Entry, 0, items*len(stages))
+	prevItem := make([]float64, len(stages)) // finish time of item i-1 per stage
+	for i := 0; i < items; i++ {
+		t := 0.0
+		for s, st := range stages {
+			start := math.Max(t, prevItem[s])
+			end := start + st.Latency
+			entries = append(entries, Entry{Stage: st.Name, Item: i, Start: start, End: end})
+			prevItem[s] = end
+			t = end
+		}
+	}
+	return entries
+}
+
+// Serial schedules every item through every stage with no overlap — the
+// WS training constraint ("repeated operations for each image").
+func Serial(stages []Stage, items int) []Entry {
+	var entries []Entry
+	t := 0.0
+	for i := 0; i < items; i++ {
+		for _, st := range stages {
+			entries = append(entries, Entry{Stage: st.Name, Item: i, Start: t, End: t + st.Latency})
+			t += st.Latency
+		}
+	}
+	return entries
+}
+
+// BatchParallel schedules the stages once for the whole batch — INCA's 3D
+// execution, where all planes respond together.
+func BatchParallel(stages []Stage) []Entry {
+	var entries []Entry
+	t := 0.0
+	for _, st := range stages {
+		entries = append(entries, Entry{Stage: st.Name, Item: -1, Start: t, End: t + st.Latency})
+		t += st.Latency
+	}
+	return entries
+}
+
+// Makespan returns the completion time of the schedule.
+func Makespan(entries []Entry) float64 {
+	end := 0.0
+	for _, e := range entries {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return end
+}
+
+// Utilization returns the mean fraction of the makespan each stage is
+// busy.
+func Utilization(entries []Entry) float64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	busy := map[string]float64{}
+	for _, e := range entries {
+		busy[e.Stage] += e.End - e.Start
+	}
+	span := Makespan(entries)
+	if span == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range busy {
+		sum += b / span
+	}
+	return sum / float64(len(busy))
+}
+
+// Gantt renders an ASCII timeline, one row per stage, width columns wide.
+func Gantt(entries []Entry, width int) string {
+	if len(entries) == 0 || width < 10 {
+		return "(empty schedule)\n"
+	}
+	span := Makespan(entries)
+	if span == 0 {
+		return "(zero-length schedule)\n"
+	}
+	// Preserve first-appearance stage order.
+	var order []string
+	rows := map[string][]rune{}
+	for _, e := range entries {
+		if _, ok := rows[e.Stage]; !ok {
+			order = append(order, e.Stage)
+			rows[e.Stage] = []rune(strings.Repeat(".", width))
+		}
+	}
+	glyphs := []rune("0123456789abcdefghijklmnopqrstuvwxyz")
+	for _, e := range entries {
+		row := rows[e.Stage]
+		lo := int(e.Start / span * float64(width))
+		hi := int(math.Ceil(e.End / span * float64(width)))
+		if hi > width {
+			hi = width
+		}
+		if hi <= lo {
+			hi = lo + 1
+			if hi > width {
+				lo, hi = width-1, width
+			}
+		}
+		g := '#'
+		if e.Item >= 0 {
+			g = glyphs[e.Item%len(glyphs)]
+		}
+		for c := lo; c < hi; c++ {
+			row[c] = g
+		}
+	}
+	nameW := 0
+	for _, n := range order {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	for _, n := range order {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, n, string(rows[n]))
+	}
+	fmt.Fprintf(&b, "%-*s  makespan %.3g s\n", nameW, "", span)
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func stages(ts ...float64) []Stage {
+	out := make([]Stage, len(ts))
+	for i, t := range ts {
+		out[i] = Stage{Name: string(rune('A' + i)), Latency: t}
+	}
+	return out
+}
+
+// TestPipelineMakespanFormula pins the classic result: with unbounded
+// buffering, makespan = Σ latencies + (items-1) × bottleneck.
+func TestPipelineMakespanFormula(t *testing.T) {
+	cases := []struct {
+		ts    []float64
+		items int
+	}{
+		{[]float64{1, 2, 3}, 1},
+		{[]float64{1, 2, 3}, 5},
+		{[]float64{3, 1, 1}, 10},
+		{[]float64{2, 2, 2, 2}, 7},
+	}
+	for _, c := range cases {
+		got := Makespan(LayerPipeline(stages(c.ts...), c.items))
+		sum, max := 0.0, 0.0
+		for _, v := range c.ts {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		want := sum + float64(c.items-1)*max
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("pipeline(%v, %d) makespan = %v, want %v", c.ts, c.items, got, want)
+		}
+	}
+}
+
+func TestSerialMakespan(t *testing.T) {
+	got := Makespan(Serial(stages(1, 2), 4))
+	if got != 12 {
+		t.Fatalf("serial makespan = %v, want 12", got)
+	}
+}
+
+func TestBatchParallel(t *testing.T) {
+	entries := BatchParallel(stages(1, 2, 3))
+	if Makespan(entries) != 6 {
+		t.Fatalf("batch-parallel makespan = %v, want 6", Makespan(entries))
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+}
+
+// TestPipelineBeatsSerial verifies the structural ordering the simulators
+// rely on: pipeline < serial for multi-item schedules.
+func TestPipelineBeatsSerial(t *testing.T) {
+	st := stages(1, 3, 2)
+	p := Makespan(LayerPipeline(st, 8))
+	s := Makespan(Serial(st, 8))
+	if p >= s {
+		t.Fatalf("pipeline %v should beat serial %v", p, s)
+	}
+}
+
+func TestPipelineCausality(t *testing.T) {
+	st := stages(1, 2, 1)
+	entries := LayerPipeline(st, 4)
+	// Group by item: stage s must start after stage s-1 ends.
+	byItem := map[int][]Entry{}
+	for _, e := range entries {
+		byItem[e.Item] = append(byItem[e.Item], e)
+	}
+	for item, es := range byItem {
+		for i := 1; i < len(es); i++ {
+			if es[i].Start < es[i-1].End-1e-12 {
+				t.Fatalf("item %d: stage %d starts before previous ends", item, i)
+			}
+		}
+	}
+	// Group by stage: items must not overlap on one stage.
+	byStage := map[string][]Entry{}
+	for _, e := range entries {
+		byStage[e.Stage] = append(byStage[e.Stage], e)
+	}
+	for name, es := range byStage {
+		for i := 1; i < len(es); i++ {
+			if es[i].Start < es[i-1].End-1e-12 {
+				t.Fatalf("stage %s: items overlap", name)
+			}
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	// Balanced pipeline saturates as items grow.
+	st := stages(1, 1, 1)
+	low := Utilization(LayerPipeline(st, 1))
+	high := Utilization(LayerPipeline(st, 50))
+	if high <= low {
+		t.Fatalf("utilization should grow with pipeline depth: %v vs %v", low, high)
+	}
+	if high < 0.9 {
+		t.Fatalf("deep balanced pipeline utilization = %v, want >= 0.9", high)
+	}
+	if Utilization(nil) != 0 {
+		t.Fatal("empty schedule utilization should be 0")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	entries := LayerPipeline(stages(1, 2), 3)
+	g := Gantt(entries, 40)
+	if !strings.Contains(g, "A") || !strings.Contains(g, "B") {
+		t.Fatalf("gantt missing stage rows:\n%s", g)
+	}
+	if !strings.Contains(g, "makespan") {
+		t.Fatal("gantt missing makespan line")
+	}
+	if !strings.Contains(g, "0") || !strings.Contains(g, "1") || !strings.Contains(g, "2") {
+		t.Fatalf("gantt missing item glyphs:\n%s", g)
+	}
+	if Gantt(nil, 40) != "(empty schedule)\n" {
+		t.Fatal("empty schedule should render placeholder")
+	}
+}
+
+// PROPERTY: pipeline makespan is monotone in item count and never below
+// the serial time of one item.
+func TestPropertyPipelineMonotone(t *testing.T) {
+	f := func(a, b, c uint8, n uint8) bool {
+		st := stages(float64(a%16)+1, float64(b%16)+1, float64(c%16)+1)
+		items := int(n%20) + 1
+		m1 := Makespan(LayerPipeline(st, items))
+		m2 := Makespan(LayerPipeline(st, items+1))
+		single := st[0].Latency + st[1].Latency + st[2].Latency
+		return m2 > m1 && m1 >= single-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var lr LayerResult
+	lr.Layer = nn.Layer{Name: "conv1", Kind: nn.Conv, InC: 1, OutC: 1, KH: 1, KW: 1,
+		InH: 1, InW: 1, OutH: 1, OutW: 1}
+	lr.Result.Energy.Add(metrics.ADC, 1e-6)
+	lr.Result.Latency = 2e-3
+	lr.Result.Counts.RRAMReads = 42
+	lr.Utilization = 0.5
+
+	rep := &Report{Arch: "INCA", Network: "X", Batch: 4, Layers: []LayerResult{lr}}
+	rep.Total = lr.Result
+
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + layer + TOTAL
+		t.Fatalf("rows = %d, want 3", len(records))
+	}
+	if records[0][0] != "layer" || len(records[0]) != 18 {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][0] != "conv1" || records[1][1] != "conv" {
+		t.Fatalf("layer row = %v", records[1])
+	}
+	if records[2][0] != "TOTAL" {
+		t.Fatalf("total row = %v", records[2])
+	}
+	if !strings.Contains(records[1][11], "42") {
+		t.Fatalf("rram_reads column = %v", records[1][11])
+	}
+}

@@ -1,0 +1,102 @@
+// Package sim defines the execution-level vocabulary shared by the INCA
+// simulator, the WS baseline simulator, and the GPU model: phases,
+// per-layer results, and whole-network reports.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+)
+
+// Phase selects what is simulated.
+type Phase int
+
+// Simulation phases. Training covers feedforward + backpropagation +
+// weight update for one batch (paper §II.B).
+const (
+	Inference Phase = iota
+	Training
+)
+
+// String returns the phase's display name.
+func (p Phase) String() string {
+	if p == Inference {
+		return "inference"
+	}
+	return "training"
+}
+
+// LayerResult carries one layer's simulated execution.
+type LayerResult struct {
+	Layer       nn.Layer
+	Result      metrics.Result
+	Utilization float64 // fraction of allocated RRAM cells doing useful work
+	// AllocatedCells is the RRAM allocation backing this layer; it weights
+	// the network-level utilization (an idle block-diagonal depthwise
+	// mapping drags the average down in proportion to the cells it wastes).
+	AllocatedCells int64
+}
+
+// Report aggregates a network execution on one architecture.
+type Report struct {
+	Arch    string
+	Network string
+	Phase   Phase
+	Batch   int
+
+	Layers []LayerResult
+	// Total includes per-layer results plus any network-level costs
+	// (pipeline fill, weight programming, update writes).
+	Total metrics.Result
+}
+
+// Utilization returns the allocation-weighted mean utilization across
+// compute layers — the Fig. 16 metric: total useful cells over total
+// allocated cells.
+func (r *Report) Utilization() float64 {
+	var useful, alloc float64
+	for _, lr := range r.Layers {
+		if !lr.Layer.IsCompute() || lr.AllocatedCells == 0 {
+			continue
+		}
+		useful += lr.Utilization * float64(lr.AllocatedCells)
+		alloc += float64(lr.AllocatedCells)
+	}
+	if alloc == 0 {
+		return 0
+	}
+	return useful / alloc
+}
+
+// EnergyPerImage returns total energy divided by batch size.
+func (r *Report) EnergyPerImage() float64 {
+	if r.Batch == 0 {
+		return 0
+	}
+	return r.Total.Energy.Total() / float64(r.Batch)
+}
+
+// Throughput returns images per second for the simulated batch.
+func (r *Report) Throughput() float64 {
+	if r.Total.Latency == 0 {
+		return 0
+	}
+	return float64(r.Batch) / r.Total.Latency
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s %s %s batch=%d: %s, %s, util %.1f%%",
+		r.Arch, r.Network, r.Phase, r.Batch,
+		metrics.FormatEnergy(r.Total.Energy.Total()),
+		metrics.FormatTime(r.Total.Latency),
+		100*r.Utilization())
+}
+
+// Simulator is implemented by both accelerator models.
+type Simulator interface {
+	// Simulate executes the network for one batch in the given phase.
+	Simulate(net *nn.Network, phase Phase) *Report
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+)
+
+func TestPhaseString(t *testing.T) {
+	if Inference.String() != "inference" || Training.String() != "training" {
+		t.Fatal("phase names mismatch")
+	}
+}
+
+func TestUtilizationWeighting(t *testing.T) {
+	r := &Report{
+		Layers: []LayerResult{
+			{Layer: nn.Layer{Kind: nn.Conv, OutC: 1, OutH: 1, OutW: 1, InC: 1, KH: 1, KW: 1},
+				Utilization: 1.0, AllocatedCells: 100},
+			{Layer: nn.Layer{Kind: nn.Conv, OutC: 1, OutH: 1, OutW: 1, InC: 1, KH: 1, KW: 1},
+				Utilization: 0.0, AllocatedCells: 300},
+		},
+	}
+	if got := r.Utilization(); got != 0.25 {
+		t.Fatalf("Utilization = %v, want 0.25 (allocation-weighted)", got)
+	}
+}
+
+func TestUtilizationIgnoresNonCompute(t *testing.T) {
+	r := &Report{
+		Layers: []LayerResult{
+			{Layer: nn.Layer{Kind: nn.ReLU}, Utilization: 0.1, AllocatedCells: 1000},
+			{Layer: nn.Layer{Kind: nn.Conv, OutC: 1, OutH: 1, OutW: 1, InC: 1, KH: 1, KW: 1},
+				Utilization: 0.5, AllocatedCells: 10},
+		},
+	}
+	if got := r.Utilization(); got != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+	empty := &Report{}
+	if empty.Utilization() != 0 {
+		t.Fatal("empty report should have zero utilization")
+	}
+}
+
+func TestEnergyPerImageAndThroughput(t *testing.T) {
+	var res metrics.Result
+	res.Energy.Add(metrics.ADC, 64)
+	res.Latency = 2
+	r := &Report{Batch: 64, Total: res}
+	if got := r.EnergyPerImage(); got != 1 {
+		t.Fatalf("EnergyPerImage = %v, want 1", got)
+	}
+	if got := r.Throughput(); got != 32 {
+		t.Fatalf("Throughput = %v, want 32", got)
+	}
+	zero := &Report{}
+	if zero.EnergyPerImage() != 0 || zero.Throughput() != 0 {
+		t.Fatal("zero report should not divide by zero")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{Arch: "INCA", Network: "VGG16", Phase: Training, Batch: 64}
+	s := r.String()
+	for _, want := range []string{"INCA", "VGG16", "training", "64"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package suite assembles every paper table and figure as a named,
+// runnable experiment producing a rendered text report. The benchmark
+// harness (bench_test.go) and cmd/inca-experiments both drive this
+// package, so the printed rows are identical in both paths.
+package suite
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/access"
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/baseline"
+	"github.com/inca-arch/inca/internal/core"
+	"github.com/inca-arch/inca/internal/endure"
+	"github.com/inca-arch/inca/internal/gpu"
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/report"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/train"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID   string // e.g. "fig11"
+	Name string
+	// Heavy marks experiments that train networks (seconds of CPU).
+	Heavy bool
+	Run   func() string
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig1b", Name: "Fig 1b: DRAM latency vs bandwidth", Run: Fig1b},
+		{ID: "fig6", Name: "Fig 6: WS energy breakdown (CIFAR-10)", Run: Fig6},
+		{ID: "fig7a", Name: "Fig 7a: memory accesses WS vs IS", Run: Fig7a},
+		{ID: "fig7b", Name: "Fig 7b: unrolled vs direct RRAM demand", Run: Fig7b},
+		{ID: "table1", Name: "Table I: accuracy vs bit depth", Heavy: true, Run: Table1},
+		{ID: "table2", Name: "Table II: architecture configuration", Run: Table2},
+		{ID: "fig11", Name: "Fig 11: energy efficiency", Run: Fig11},
+		{ID: "fig12", Name: "Fig 12: layerwise energy (VGG16)", Run: Fig12},
+		{ID: "fig13", Name: "Fig 13: ADC energy + INCA breakdown", Run: Fig13},
+		{ID: "table3", Name: "Table III: buffer accesses", Run: Table3},
+		{ID: "fig14", Name: "Fig 14: speedup", Run: Fig14},
+		{ID: "fig15", Name: "Fig 15: INCA vs GPU", Run: Fig15},
+		{ID: "fig16", Name: "Fig 16: utilization", Run: Fig16},
+		{ID: "table4", Name: "Table IV: memory footprint", Run: Table4},
+		{ID: "table5", Name: "Table V: area breakdown", Run: Table5},
+		{ID: "table6", Name: "Table VI: noise accuracy", Heavy: true, Run: Table6},
+		{ID: "ext-endurance", Name: "Extension: endurance analysis (§VI)", Run: ExtEndurance},
+		{ID: "ext-devices", Name: "Extension: IS on other device candidates (§VI)", Run: ExtDevices},
+		{ID: "ext-batch", Name: "Extension: batch-size sweep", Run: ExtBatchSweep},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("suite: unknown experiment %q", id)
+}
+
+// Fig1b renders the DRAM latency curve.
+func Fig1b() string {
+	d := arch.INCA().DRAM
+	fig := &report.Figure{Title: "Fig 1b: DRAM latency vs sustained-bandwidth utilization",
+		XLabel: "utilization", YLabel: "latency (ns)"}
+	var xs, ys []float64
+	for u := 0.0; u <= 0.98; u += 0.07 {
+		xs = append(xs, u)
+		ys = append(ys, d.LatencyAt(u)*1e9)
+	}
+	fig.Add("HBM2", xs, ys)
+	return fig.String()
+}
+
+// Fig6 renders the WS energy breakdown on the CIFAR-10 networks.
+func Fig6() string {
+	cfg := arch.Baseline()
+	cfg.BatchSize = 1
+	m := baseline.New(cfg)
+	t := report.New("Fig 6: WS energy breakdown, CIFAR-10 (share of total)",
+		"network", "DRAM", "Buffer", "RRAM", "ADC", "DAC", "Digital")
+	for _, net := range []*nn.Network{nn.VGG16CIFAR(), nn.ResNet18CIFAR()} {
+		r := m.Simulate(net, sim.Inference)
+		t.AddRow(append([]any{net.Name}, shares(r)...)...)
+	}
+	return t.String()
+}
+
+func shares(r *sim.Report) []any {
+	var out []any
+	for _, c := range metrics.Components() {
+		out = append(out, r.Total.Energy.Share(c))
+	}
+	return out
+}
+
+// Fig7a renders the access-count comparison at 16-bit precision.
+func Fig7a() string {
+	t := report.New("Fig 7a: memory accesses, 16-bit data / 256-bit bus",
+		"network", "WS", "IS", "WS/IS")
+	for _, net := range nn.PaperModels() {
+		ac := access.CountNetwork(net, 16, 256)
+		t.AddRow(net.Name, float64(ac.Baseline), float64(ac.INCA), ac.Ratio())
+	}
+	return t.String()
+}
+
+// Fig7b renders the unrolling blow-up for the heavy models.
+func Fig7b() string {
+	t := report.New("Fig 7b: IS RRAM demand, unrolled vs direct convolution",
+		"network", "unrolled", "direct", "ratio")
+	for _, net := range nn.HeavyModels() {
+		u := access.CountUnroll(net)
+		t.AddRow(net.Name, float64(u.Unrolled), float64(u.Direct), u.Ratio())
+	}
+	return t.String()
+}
+
+// Table1 runs the bit-depth accuracy study.
+func Table1() string {
+	rows := train.BitDepthTable(train.DefaultExperimentConfig(), []int{7, 6, 5, 4, 3, 2})
+	t := report.New("Table I: accuracy drop vs bit depth (percentage points)",
+		"bits", "8b-wt + act@bits", "8b-act + wt@bits")
+	for _, r := range rows {
+		t.AddRow(r.Bits, r.ActQuantDrop, r.WeightQuantDrop)
+	}
+	return t.String()
+}
+
+// Table2 renders the architecture configuration summary.
+func Table2() string {
+	i, b := arch.INCA(), arch.Baseline()
+	t := report.New("Table II: architecture configuration", "parameter", "INCA", "baseline")
+	t.AddRow("subarray", fmt.Sprintf("%dx%dx%d", i.SubarrayRows, i.SubarrayCols, i.StackedPlanes),
+		fmt.Sprintf("%dx%d", b.SubarrayRows, b.SubarrayCols))
+	t.AddRow("tiles/macros/subarrays", fmt.Sprintf("%d/%d/%d", i.Tiles, i.TileSize, i.MacroSize),
+		fmt.Sprintf("%d/%d/%d", b.Tiles, b.TileSize, b.MacroSize))
+	t.AddRow("ADC", fmt.Sprintf("%d-bit (1:%d shared)", i.ADCBits, i.SubarraysPerADC),
+		fmt.Sprintf("%d-bit", b.ADCBits))
+	t.AddRow("precision (wt/act)", fmt.Sprintf("%d/%d", i.WeightBits, i.ActivationBits),
+		fmt.Sprintf("%d/%d", b.WeightBits, b.ActivationBits))
+	t.AddRow("batch", i.BatchSize, b.BatchSize)
+	t.AddRow("buffer", fmt.Sprintf("%dKB/%d-bit", i.Buffer.CapacityBytes/1024, i.Buffer.BusWidthBits),
+		fmt.Sprintf("%dKB/%d-bit", b.Buffer.CapacityBytes/1024, b.Buffer.BusWidthBits))
+	t.AddRow("cell R on/off (ohm)", fmt.Sprintf("%.0fk/%.0fM", i.Device.ROn/1e3, i.Device.ROff/1e6),
+		fmt.Sprintf("%.0fk/%.0fM", b.Device.ROn/1e3, b.Device.ROff/1e6))
+	return t.String()
+}
+
+// comparison renders one phase's six-network comparison.
+func comparison(phase sim.Phase) *report.Table {
+	inca := core.New(arch.INCA())
+	base := baseline.New(arch.Baseline())
+	t := report.New(fmt.Sprintf("INCA vs WS baseline, %s (batch 64)", phase),
+		"network", "energy ratio", "speedup", "perf/W (Fig 11)")
+	for _, net := range nn.PaperModels() {
+		a := inca.Simulate(net, phase)
+		b := base.Simulate(net, phase)
+		e := a.Total.EnergyEfficiencyVs(b.Total)
+		s := a.Total.SpeedupVs(b.Total)
+		t.AddRow(net.Name, e, s, e*s)
+	}
+	return t
+}
+
+// Fig11 renders the energy-efficiency comparison for both phases.
+func Fig11() string {
+	return "Fig 11a: " + comparison(sim.Inference).String() +
+		"\nFig 11b: " + comparison(sim.Training).String()
+}
+
+// Fig12 renders the layerwise DRAM+buffer energy of VGG16.
+func Fig12() string {
+	net := nn.VGG16()
+	ir := core.New(arch.INCA()).Simulate(net, sim.Inference)
+	br := baseline.New(arch.Baseline()).Simulate(net, sim.Inference)
+	t := report.New("Fig 12: layerwise DRAM+buffer energy, VGG16 (J/batch)",
+		"layer", "WS", "INCA")
+	mem := func(lr sim.LayerResult) float64 {
+		return lr.Result.Energy.Of(metrics.DRAM) + lr.Result.Energy.Of(metrics.Buffer)
+	}
+	for j := range br.Layers {
+		if br.Layers[j].Layer.Kind != nn.Conv {
+			continue
+		}
+		t.AddRow(br.Layers[j].Layer.Name, mem(br.Layers[j]), mem(ir.Layers[j]))
+	}
+	return t.String()
+}
+
+// Fig13 renders the ADC energy comparison and INCA's breakdown.
+func Fig13() string {
+	net := nn.VGG16()
+	ir := core.New(arch.INCA()).Simulate(net, sim.Inference)
+	br := baseline.New(arch.Baseline()).Simulate(net, sim.Inference)
+	ta := report.New("Fig 13a: ADC energy, VGG16 (J/batch)", "design", "ADC energy", "vs INCA")
+	ia := ir.Total.Energy.Of(metrics.ADC)
+	ba := br.Total.Energy.Of(metrics.ADC)
+	ta.AddRow("WS baseline", ba, ba/ia)
+	ta.AddRow("INCA", ia, 1.0)
+
+	cfg := arch.INCA()
+	cfg.BatchSize = 1
+	r := core.New(cfg).Simulate(net, sim.Inference)
+	tb := report.New("Fig 13b: INCA energy breakdown, VGG16 (share of total)",
+		"network", "DRAM", "Buffer", "RRAM", "ADC", "DAC", "Digital")
+	tb.AddRow(append([]any{net.Name}, shares(r)...)...)
+	return ta.String() + "\n" + tb.String()
+}
+
+// Table3 renders the Table III estimates at 8-bit precision.
+func Table3() string {
+	t := report.New("Table III: estimated buffer accesses, 8-bit / 256-bit bus",
+		"network", "baseline", "INCA", "ratio")
+	for _, net := range nn.PaperModels() {
+		ac := access.CountNetwork(net, 8, 256)
+		t.AddRow(net.Name, float64(ac.Baseline), float64(ac.INCA), ac.Ratio())
+	}
+	return t.String()
+}
+
+// Fig14 renders the speedup comparison for both phases.
+func Fig14() string {
+	out := ""
+	inca := core.New(arch.INCA())
+	base := baseline.New(arch.Baseline())
+	for _, phase := range []sim.Phase{sim.Inference, sim.Training} {
+		t := report.New(fmt.Sprintf("Fig 14: speedup, %s (batch 64)", phase),
+			"network", "WS latency (s)", "INCA latency (s)", "speedup")
+		for _, net := range nn.PaperModels() {
+			ir := inca.Simulate(net, phase)
+			br := base.Simulate(net, phase)
+			t.AddRow(net.Name, br.Total.Latency, ir.Total.Latency, ir.Total.SpeedupVs(br.Total))
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}
+
+// Fig15 renders the INCA-versus-GPU training comparison.
+func Fig15() string {
+	inca := core.New(arch.INCA())
+	g := gpu.New(gpu.TitanRTX())
+	incaArea := arch.INCA().Area().Total()
+	t := report.New("Fig 15: INCA vs GPU, training (batch 64)",
+		"network", "energy ratio", "tput/area INCA", "tput/area GPU", "iso-area ratio")
+	for _, net := range nn.PaperModels() {
+		ir := inca.Simulate(net, sim.Training)
+		gr := g.Simulate(net, sim.Training)
+		it := gpu.ThroughputPerArea(ir, incaArea)
+		gt := gpu.ThroughputPerArea(gr, gpu.TitanRTX().AreaMM2)
+		t.AddRow(net.Name, ir.Total.EnergyEfficiencyVs(gr.Total), it, gt, it/gt)
+	}
+	return t.String()
+}
+
+// Fig16 renders the utilization sweep and per-network comparison.
+func Fig16() string {
+	fig := &report.Figure{Title: "Fig 16a: INCA utilization vs array size (VGG16)",
+		XLabel: "array size", YLabel: "utilization"}
+	var xs, ys []float64
+	for _, s := range []int{8, 16, 32, 64, 128} {
+		cfg := arch.INCA()
+		cfg.SubarrayRows, cfg.SubarrayCols = s, s
+		ys = append(ys, core.New(cfg).Simulate(nn.VGG16(), sim.Inference).Utilization())
+		xs = append(xs, float64(s))
+	}
+	fig.Add("INCA", xs, ys)
+
+	t := report.New("Fig 16b: utilization by network", "network", "INCA", "WS baseline")
+	inca := core.New(arch.INCA())
+	base := baseline.New(arch.Baseline())
+	for _, net := range nn.PaperModels() {
+		t.AddRow(net.Name,
+			inca.Simulate(net, sim.Inference).Utilization(),
+			base.Simulate(net, sim.Inference).Utilization())
+	}
+	return fig.String() + "\n" + t.String()
+}
+
+// Table4 renders the memory footprint formulas.
+func Table4() string {
+	const mb = 1024 * 1024
+	t := report.New("Table IV: memory footprint (MB)",
+		"network", "base RRAM", "base buffers", "INCA RRAM", "INCA buffers")
+	for _, net := range nn.PaperModels() {
+		w := float64(net.TotalWeights()) / mb
+		a := float64(net.TotalActivations()) / mb
+		t.AddRow(net.Name, 2*w+a, a, a, w)
+	}
+	return t.String()
+}
+
+// Table5 renders the area breakdown.
+func Table5() string {
+	t := report.New("Table V: area breakdown (mm²)", "component", "baseline", "INCA")
+	ba := arch.Baseline().Area()
+	ia := arch.INCA().Area()
+	t.AddRow("Buffer", ba.Buffer, ia.Buffer)
+	t.AddRow("Array", ba.Array, ia.Array)
+	t.AddRow("ADC", ba.ADC, ia.ADC)
+	t.AddRow("DAC", ba.DAC, ia.DAC)
+	t.AddRow("Post-processing", ba.PostProcessing, ia.PostProcessing)
+	t.AddRow("Others", ba.Others, ia.Others)
+	t.AddRow("Total", ba.Total(), ia.Total())
+	return t.String()
+}
+
+// ExtEndurance renders the §VI future-work endurance analysis: per-cell
+// write pressure and wall-clock lifetime for both dataflows, using the
+// simulated ResNet18 batch latencies.
+func ExtEndurance() string {
+	net := nn.ResNet18()
+	dev := arch.INCA().Device
+	t := report.New("Extension: endurance on "+dev.Name+" (ResNet18, batch 64)",
+		"design", "phase", "writes/cell/batch", "batches to failure", "lifetime (years)")
+	for _, phase := range []sim.Phase{sim.Inference, sim.Training} {
+		ir := core.New(arch.INCA()).Simulate(net, phase)
+		br := baseline.New(arch.Baseline()).Simulate(net, phase)
+		ip := endure.Analyze("INCA", phase, dev, net, ir.Total.Latency)
+		bp := endure.Analyze("WS-Baseline", phase, dev, net, br.Total.Latency)
+		t.AddRow("INCA", phase.String(), ip.WritesPerCellPerBatch, ip.BatchesToFailure, ip.LifetimeYears())
+		t.AddRow("WS-Baseline", phase.String(), bp.WritesPerCellPerBatch, bp.BatchesToFailure, bp.LifetimeYears())
+	}
+	return t.String()
+}
+
+// ExtDevices renders the §VI "other hardware candidates" study: INCA's
+// energy and training lifetime with each device technology.
+func ExtDevices() string {
+	net := nn.ResNet18()
+	t := report.New("Extension: INCA on alternative devices (ResNet18 training, batch 64)",
+		"device", "energy (J/batch)", "latency (s)", "lifetime (years)")
+	for _, dev := range endure.Candidates() {
+		cfg := arch.INCA()
+		cfg.Device = dev
+		r := core.New(cfg).Simulate(net, sim.Training)
+		p := endure.Analyze("INCA", sim.Training, dev, net, r.Total.Latency)
+		t.AddRow(dev.Name, r.Total.Energy.Total(), r.Total.Latency, p.LifetimeYears())
+	}
+	return t.String()
+}
+
+// ExtBatchSweep renders INCA's per-image cost versus batch size — the 3D
+// plane amortization.
+func ExtBatchSweep() string {
+	net := nn.ResNet18()
+	t := report.New("Extension: INCA batch sweep (ResNet18 training)",
+		"batch", "energy/image (J)", "latency/image (s)")
+	for _, b := range []int{1, 4, 16, 64} {
+		cfg := arch.INCA()
+		cfg.BatchSize = b
+		r := core.New(cfg).Simulate(net, sim.Training)
+		t.AddRow(b, r.Total.Energy.Total()/float64(b), r.Total.Latency/float64(b))
+	}
+	return t.String()
+}
+
+// Table6 runs the noise-robustness study.
+func Table6() string {
+	rows := train.NoiseAccuracyTable(train.DefaultExperimentConfig(),
+		[]float64{0.005, 0.01, 0.02, 0.03, 0.05})
+	t := report.New("Table VI: training accuracy (%) vs noise strength",
+		"sigma", "weights (WS)", "activations (IS)", "clean")
+	for _, r := range rows {
+		t.AddRow(r.Sigma, r.WeightNoise, r.ActivationAcc, r.BaselineNoNoise)
+	}
+	return t.String()
+}

@@ -1,0 +1,71 @@
+package suite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Name == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) != 19 {
+		t.Fatalf("suite has %d experiments, want 19", len(seen))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig11")
+	if err != nil || e.ID != "fig11" {
+		t.Fatalf("ByID(fig11) = %v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+// TestLightExperimentsProduceOutput runs every non-heavy experiment once
+// and checks each produces a titled, multi-line report.
+func TestLightExperimentsProduceOutput(t *testing.T) {
+	for _, e := range All() {
+		if e.Heavy {
+			continue
+		}
+		out := e.Run()
+		if len(out) < 40 {
+			t.Errorf("%s: output suspiciously short: %q", e.ID, out)
+		}
+		if !strings.Contains(out, "\n") {
+			t.Errorf("%s: output not multi-line", e.ID)
+		}
+	}
+}
+
+// TestFig11ContainsAllNetworks spot-checks one report's content.
+func TestFig11ContainsAllNetworks(t *testing.T) {
+	out := Fig11()
+	for _, name := range []string{"VGG16", "VGG19", "ResNet18", "ResNet50", "MobileNetV2", "MNasNet"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Fig11 output missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "Fig 11a") || !strings.Contains(out, "Fig 11b") {
+		t.Error("Fig11 should include both phases")
+	}
+}
+
+func TestTable5ContainsTotals(t *testing.T) {
+	out := Table5()
+	for _, want := range []string{"Buffer", "Array", "ADC", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes the geometry of a 2D convolution.
+type ConvSpec struct {
+	Stride int // stride in both spatial directions (>= 1)
+	Pad    int // symmetric zero padding (>= 0)
+}
+
+// OutSize returns the output spatial size for an input of size in with
+// kernel size k under this spec.
+func (s ConvSpec) OutSize(in, k int) int {
+	return (in+2*s.Pad-k)/s.Stride + 1
+}
+
+func (s ConvSpec) validate() {
+	if s.Stride < 1 {
+		panic(fmt.Sprintf("tensor: invalid stride %d", s.Stride))
+	}
+	if s.Pad < 0 {
+		panic(fmt.Sprintf("tensor: invalid pad %d", s.Pad))
+	}
+}
+
+// Conv2D computes a direct 2D convolution (really cross-correlation, as in
+// deep learning frameworks) of a single image.
+//
+//	x: [C, H, W]      input feature maps
+//	w: [N, C, KH, KW] kernels
+//
+// The result has shape [N, OH, OW]. This is the mathematical "direct
+// convolution" the INCA 2T1R array implements (paper Eq. 1).
+func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	spec.validate()
+	if x.Rank() != 3 || w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D wants x rank 3 and w rank 4, got %v and %v", x.Dims(), w.Dims()))
+	}
+	c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
+	n, wc, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	if wc != c {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch: x has %d, w has %d", c, wc))
+	}
+	oh, ow := spec.OutSize(h, kh), spec.OutSize(wd, kw)
+	out := New(n, oh, ow)
+	xd, wdat, od := x.data, w.data, out.data
+	for on := 0; on < n; on++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := 0.0
+				iy0 := oy*spec.Stride - spec.Pad
+				ix0 := ox*spec.Stride - spec.Pad
+				for ic := 0; ic < c; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						xrow := (ic*h + iy) * wd
+						wrow := ((on*c+ic)*kh + ky) * kw
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							sum += xd[xrow+ix] * wdat[wrow+kx]
+						}
+					}
+				}
+				od[(on*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConv2D convolves each input channel with its own single-channel
+// kernel (paper Fig. 3b, "depthwise convolution": no accumulation across
+// input channels).
+//
+//	x: [C, H, W]
+//	w: [C, KH, KW]
+//
+// Result: [C, OH, OW].
+func DepthwiseConv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	spec.validate()
+	if x.Rank() != 3 || w.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: DepthwiseConv2D wants rank-3 x and w, got %v and %v", x.Dims(), w.Dims()))
+	}
+	c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
+	if w.Dim(0) != c {
+		panic(fmt.Sprintf("tensor: DepthwiseConv2D channel mismatch: x has %d, w has %d", c, w.Dim(0)))
+	}
+	kh, kw := w.Dim(1), w.Dim(2)
+	oh, ow := spec.OutSize(h, kh), spec.OutSize(wd, kw)
+	out := New(c, oh, ow)
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := 0.0
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*spec.Stride - spec.Pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*spec.Stride - spec.Pad + kx
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						sum += x.data[(ic*h+iy)*wd+ix] * w.data[(ic*kh+ky)*kw+kx]
+					}
+				}
+				out.data[(ic*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// Im2Col unrolls the sliding windows of x into a matrix of shape
+// [C*KH*KW, OH*OW]. Column j holds the window that produces output position
+// j; this is the "GEMM-based convolution" unrolling used by WS accelerators
+// (paper §III.B, "Challenges"). The repetition of input elements across
+// columns is exactly the RRAM blow-up quantified in Fig. 7b.
+func Im2Col(x *Tensor, kh, kw int, spec ConvSpec) *Tensor {
+	spec.validate()
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col wants rank-3 x, got %v", x.Dims()))
+	}
+	c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := spec.OutSize(h, kh), spec.OutSize(wd, kw)
+	out := New(c*kh*kw, oh*ow)
+	for ic := 0; ic < c; ic++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := (ic*kh+ky)*kw + kx
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.Stride - spec.Pad + ky
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.Stride - spec.Pad + kx
+						v := 0.0
+						if iy >= 0 && iy < h && ix >= 0 && ix < wd {
+							v = x.data[(ic*h+iy)*wd+ix]
+						}
+						out.data[row*(oh*ow)+oy*ow+ox] = v
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns a×b for 2-D tensors a [M,K] and b [K,N].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 tensors, got %v and %v", a.Dims(), b.Dims()))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch: %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DIm2Col computes the same result as Conv2D via the unrolled
+// GEMM formulation: reshape w to [N, C*KH*KW] and multiply by the im2col
+// matrix. Used to cross-check the direct path and to model WS execution.
+func Conv2DIm2Col(x, w *Tensor, spec ConvSpec) *Tensor {
+	n, c, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	cols := Im2Col(x, kh, kw, spec)
+	wm := w.Reshape(n, c*kh*kw)
+	prod := MatMul(wm, cols)
+	oh := spec.OutSize(x.Dim(1), kh)
+	ow := spec.OutSize(x.Dim(2), kw)
+	return prod.Reshape(n, oh, ow)
+}
+
+// Rot180 rotates each KH×KW kernel plane of w [N, C, KH, KW] by 180° and
+// swaps the N and C axes, producing the transposed kernel W^T used in
+// backpropagation (paper Eq. 3): result is [C, N, KH, KW].
+func Rot180(w *Tensor) *Tensor {
+	if w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Rot180 wants rank-4 w, got %v", w.Dims()))
+	}
+	n, c, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2), w.Dim(3)
+	out := New(c, n, kh, kw)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					v := w.data[((in*c+ic)*kh+ky)*kw+kx]
+					out.data[((ic*n+in)*kh+(kh-1-ky))*kw+(kw-1-kx)] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Pad returns x [C,H,W] zero-padded by p on every spatial side.
+func Pad(x *Tensor, p int) *Tensor {
+	if p == 0 {
+		return x.Clone()
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := New(c, h+2*p, w+2*p)
+	for ic := 0; ic < c; ic++ {
+		for iy := 0; iy < h; iy++ {
+			src := x.data[(ic*h+iy)*w : (ic*h+iy)*w+w]
+			dstRow := (ic*(h+2*p)+iy+p)*(w+2*p) + p
+			copy(out.data[dstRow:dstRow+w], src)
+		}
+	}
+	return out
+}
+
+// Dilate inserts (stride-1) zeros between the elements of each spatial map
+// of x [C,H,W]. It converts a strided convolution's output gradient into
+// the dense form needed by the full-convolution backward pass.
+func Dilate(x *Tensor, stride int) *Tensor {
+	if stride <= 1 {
+		return x.Clone()
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh := (h-1)*stride + 1
+	ow := (w-1)*stride + 1
+	out := New(c, oh, ow)
+	for ic := 0; ic < c; ic++ {
+		for iy := 0; iy < h; iy++ {
+			for ix := 0; ix < w; ix++ {
+				out.data[(ic*oh+iy*stride)*ow+ix*stride] = x.data[(ic*h+iy)*w+ix]
+			}
+		}
+	}
+	return out
+}
+
+// CropTo crops x [C,H,W] to [C,h,w] starting at the origin offset (oy, ox).
+func CropTo(x *Tensor, oy, ox, h, w int) *Tensor {
+	c, ih, iw := x.Dim(0), x.Dim(1), x.Dim(2)
+	if oy+h > ih || ox+w > iw {
+		panic(fmt.Sprintf("tensor: crop [%d+%d, %d+%d] exceeds input [%d, %d]", oy, h, ox, w, ih, iw))
+	}
+	out := New(c, h, w)
+	for ic := 0; ic < c; ic++ {
+		for y := 0; y < h; y++ {
+			src := (ic*ih+oy+y)*iw + ox
+			copy(out.data[(ic*h+y)*w:(ic*h+y)*w+w], x.data[src:src+w])
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import "fmt"
+
+// MatVec returns the matrix-vector product a [M,N] × x [N] -> [M].
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: MatVec wants a rank 2 and x rank 1, got %v and %v", a.Dims(), x.Dims()))
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if x.Dim(0) != n {
+		panic(fmt.Sprintf("tensor: MatVec dims mismatch: a %v, x %v", a.Dims(), x.Dims()))
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x.data[j]
+		}
+		out.data[i] = sum
+	}
+	return out
+}
+
+// MatVecT returns aᵀ × x for a [M,N] and x [M] -> [N], i.e. the
+// transposed-weight product used in FC backpropagation (paper Eq. 3).
+func MatVecT(a, x *Tensor) *Tensor {
+	m, n := a.Dim(0), a.Dim(1)
+	if x.Dim(0) != m {
+		panic(fmt.Sprintf("tensor: MatVecT dims mismatch: a %v, x %v", a.Dims(), x.Dims()))
+	}
+	out := New(n)
+	for i := 0; i < m; i++ {
+		xi := x.data[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j] += xi * v
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product x [M] ⊗ y [N] -> [M,N], the FC weight
+// gradient (δ ⊗ input).
+func Outer(x, y *Tensor) *Tensor {
+	m, n := x.Dim(0), y.Dim(0)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		xi := x.data[i]
+		for j := 0; j < n; j++ {
+			out.data[i*n+j] = xi * y.data[j]
+		}
+	}
+	return out
+}
+
+// ConvBackwardInput computes dL/dx for a convolution y = w * x with the
+// given spec, from the output gradient delta [N,OH,OW]. Following the
+// paper's Eq. 3, this is the (dilated, padded) delta convolved with the
+// transposed, 180°-rotated kernel. inH and inW give the input spatial size.
+func ConvBackwardInput(w, delta *Tensor, spec ConvSpec, inH, inW int) *Tensor {
+	spec.validate()
+	wt := Rot180(w) // [C, N, KH, KW]
+	kh := w.Dim(2)
+	// Undo stride by dilating the gradient, then full-convolve:
+	// pad by (k-1) so every input position receives all contributions.
+	d := Dilate(delta, spec.Stride)
+	full := Conv2D(Pad(d, kh-1), wt, ConvSpec{Stride: 1})
+	// full has size (dilH + kh - 1) × (dilW + kw - 1); input position i
+	// corresponds to full position i + pad. When the stride does not divide
+	// the input exactly, trailing input rows/cols were never covered by any
+	// window and keep gradient zero.
+	c := wt.Dim(0)
+	dx := New(c, inH, inW)
+	fh, fw := full.Dim(1), full.Dim(2)
+	copyH := min(inH, fh-spec.Pad)
+	copyW := min(inW, fw-spec.Pad)
+	for ic := 0; ic < c; ic++ {
+		for y := 0; y < copyH; y++ {
+			srcRow := (ic*fh+y+spec.Pad)*fw + spec.Pad
+			dstRow := (ic*inH + y) * inW
+			copy(dx.data[dstRow:dstRow+copyW], full.data[srcRow:srcRow+copyW])
+		}
+	}
+	return dx
+}
+
+// ConvBackwardWeights computes dL/dw for y = w * x: each weight gradient is
+// the convolution of the layer input with the (dilated) output gradient
+// (paper Eq. 4, "errors are convolved with inputs of the layer").
+// x is [C,H,W], delta is [N,OH,OW]; the result matches w's shape
+// [N,C,KH,KW].
+func ConvBackwardWeights(x, delta *Tensor, spec ConvSpec, kh, kw int) *Tensor {
+	spec.validate()
+	c := x.Dim(0)
+	n, oh, ow := delta.Dim(0), delta.Dim(1), delta.Dim(2)
+	xp := Pad(x, spec.Pad)
+	dw := New(n, c, kh, kw)
+	ph, pw := xp.Dim(1), xp.Dim(2)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					sum := 0.0
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*spec.Stride + ky
+						if iy >= ph {
+							continue
+						}
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*spec.Stride + kx
+							if ix >= pw {
+								continue
+							}
+							sum += xp.data[(ic*ph+iy)*pw+ix] * delta.data[(in*oh+oy)*ow+ox]
+						}
+					}
+					dw.data[((in*c+ic)*kh+ky)*kw+kx] = sum
+				}
+			}
+		}
+	}
+	return dw
+}
+
+// DepthwiseBackwardInput computes dL/dx for a depthwise convolution.
+// w is [C,KH,KW], delta is [C,OH,OW].
+func DepthwiseBackwardInput(w, delta *Tensor, spec ConvSpec, inH, inW int) *Tensor {
+	c, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2)
+	dx := New(c, inH, inW)
+	oh, ow := delta.Dim(1), delta.Dim(2)
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				g := delta.data[(ic*oh+oy)*ow+ox]
+				if g == 0 {
+					continue
+				}
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*spec.Stride - spec.Pad + ky
+					if iy < 0 || iy >= inH {
+						continue
+					}
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*spec.Stride - spec.Pad + kx
+						if ix < 0 || ix >= inW {
+							continue
+						}
+						dx.data[(ic*inH+iy)*inW+ix] += g * w.data[(ic*kh+ky)*kw+kx]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// DepthwiseBackwardWeights computes dL/dw for a depthwise convolution.
+func DepthwiseBackwardWeights(x, delta *Tensor, spec ConvSpec, kh, kw int) *Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := delta.Dim(1), delta.Dim(2)
+	dw := New(c, kh, kw)
+	for ic := 0; ic < c; ic++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				sum := 0.0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.Stride - spec.Pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.Stride - spec.Pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						sum += x.data[(ic*h+iy)*w+ix] * delta.data[(ic*oh+oy)*ow+ox]
+					}
+				}
+				dw.data[(ic*kh+ky)*kw+kx] = sum
+			}
+		}
+	}
+	return dw
+}

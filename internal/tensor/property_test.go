@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConvCase draws a small random convolution geometry plus data.
+type randomConvCase struct {
+	x    *Tensor
+	w    *Tensor
+	spec ConvSpec
+}
+
+func genConvCase(rng *rand.Rand) randomConvCase {
+	c := 1 + rng.Intn(3)
+	k := 1 + rng.Intn(3)
+	h := k + rng.Intn(6)
+	wd := k + rng.Intn(6)
+	n := 1 + rng.Intn(3)
+	s := 1 + rng.Intn(2)
+	p := rng.Intn(k) // pad < k keeps geometry valid
+	return randomConvCase{
+		x:    Randn(rng, 1, c, h, wd),
+		w:    Randn(rng, 1, n, c, k, k),
+		spec: ConvSpec{Stride: s, Pad: p},
+	}
+}
+
+// PROPERTY: direct convolution and GEMM (im2col) convolution agree on
+// arbitrary geometries — the functional foundation of the WS-vs-IS
+// comparison.
+func TestPropertyDirectEqualsGEMM(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cse := genConvCase(rng)
+		a := Conv2D(cse.x, cse.w, cse.spec)
+		b := Conv2DIm2Col(cse.x, cse.w, cse.spec)
+		return a.Equal(b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: convolution is linear in the input:
+// conv(a*x1 + b*x2, w) == a*conv(x1, w) + b*conv(x2, w).
+func TestPropertyConvLinearity(t *testing.T) {
+	f := func(seed int64, a8, b8 int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cse := genConvCase(rng)
+		x2 := Randn(rng, 1, cse.x.Dims()...)
+		a, b := float64(a8)/16, float64(b8)/16
+
+		mix := cse.x.Clone().Scale(a).AXPYInPlace(b, x2)
+		lhs := Conv2D(mix, cse.w, cse.spec)
+		rhs := Conv2D(cse.x, cse.w, cse.spec).Scale(a).
+			AXPYInPlace(b, Conv2D(x2, cse.w, cse.spec))
+		return lhs.Equal(rhs, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: Rot180 is an involution and preserves the multiset of values.
+func TestPropertyRot180(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, c, k := 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(4)
+		w := Randn(rng, 1, n, c, k, k)
+		r := Rot180(w)
+		if math.Abs(r.Sum()-w.Sum()) > 1e-9 {
+			return false
+		}
+		return Rot180(r).Equal(w, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: max pooling dominates average pooling element-wise, and both
+// are bounded by the input extrema.
+func TestPropertyPoolingBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(2)
+		h := k * (1 + rng.Intn(4))
+		x := Randn(rng, 1, c, h, h)
+		mx := MaxPool2D(x, k, k).Out
+		av := AvgPool2D(x, k, k)
+		for i := range mx.Data() {
+			if mx.Data()[i] < av.Data()[i]-1e-12 {
+				return false
+			}
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range x.Data() {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range mx.Data() {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: MaxPoolBackward conserves gradient mass (every output gradient
+// lands on exactly one input position).
+func TestPropertyMaxPoolGradientConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(2)
+		h := k * (1 + rng.Intn(4))
+		x := Randn(rng, 1, c, h, h)
+		res := MaxPool2D(x, k, k)
+		delta := Randn(rng, 1, res.Out.Dims()...)
+		dx := MaxPoolBackward(res, delta, x.Dims())
+		return math.Abs(dx.Sum()-delta.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: im2col column count equals OH*OW and each column holds exactly
+// the window contents (spot-checked against direct indexing).
+func TestPropertyIm2ColWindows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cse := genConvCase(rng)
+		k := cse.w.Dim(2)
+		cols := Im2Col(cse.x, k, k, cse.spec)
+		oh := cse.spec.OutSize(cse.x.Dim(1), k)
+		ow := cse.spec.OutSize(cse.x.Dim(2), k)
+		if cols.Dim(1) != oh*ow {
+			return false
+		}
+		// Check one random window.
+		oy, ox := rng.Intn(oh), rng.Intn(ow)
+		for ic := 0; ic < cse.x.Dim(0); ic++ {
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					iy := oy*cse.spec.Stride - cse.spec.Pad + ky
+					ix := ox*cse.spec.Stride - cse.spec.Pad + kx
+					want := 0.0
+					if iy >= 0 && iy < cse.x.Dim(1) && ix >= 0 && ix < cse.x.Dim(2) {
+						want = cse.x.At(ic, iy, ix)
+					}
+					got := cols.At((ic*k+ky)*k+kx, oy*ow+ox)
+					if got != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PROPERTY: softmax output is a probability distribution for any input.
+func TestPropertySoftmaxDistribution(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+			// Clamp to a sane range; quick can generate 1e300 values whose
+			// exp differences legitimately underflow.
+			vals[i] = math.Max(-500, math.Min(500, vals[i]))
+		}
+		s := Softmax(FromSlice(vals, len(vals)))
+		sum := 0.0
+		for _, v := range s.Data() {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

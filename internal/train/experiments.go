@@ -1,0 +1,136 @@
+package train
+
+import (
+	"math/rand"
+
+	"github.com/inca-arch/inca/internal/data"
+	"github.com/inca-arch/inca/internal/rram"
+)
+
+// ExperimentConfig sizes the accuracy experiments. The defaults trade a
+// few seconds of CPU for stable accuracy estimates; tests shrink them.
+type ExperimentConfig struct {
+	Data           data.Config
+	PretrainEpochs int
+	NoiseEpochs    int // fine-tuning epochs under noise (paper: 10)
+	LR             float64
+	Seed           int64
+	// WriteInterval is the device reprogramming granularity in SGD steps;
+	// smaller intervals accumulate more write error per epoch.
+	WriteInterval int
+	// Repeats averages each noise condition over this many independent
+	// noise seeds (0 or 1 = single run). Higher values stabilize the
+	// Table VI rows at proportional CPU cost.
+	Repeats int
+}
+
+// DefaultExperimentConfig mirrors the paper's protocol at the synthetic
+// dataset's scale.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{
+		Data:           data.DefaultConfig(),
+		PretrainEpochs: 8,
+		NoiseEpochs:    10,
+		LR:             0.02,
+		Seed:           7,
+		WriteInterval:  16,
+	}
+}
+
+// pretrained returns a clean-trained network plus the train/test split.
+func pretrained(cfg ExperimentConfig) (*Network, *data.Dataset, *data.Dataset) {
+	ds := data.Generate(cfg.Data)
+	trainSet, testSet := ds.Split(0.25)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := SmallCNN(rng, 1, cfg.Data.H, cfg.Data.W, cfg.Data.Classes)
+	tr := &Trainer{Net: net, LR: cfg.LR}
+	tr.Train(trainSet, cfg.PretrainEpochs)
+	return net, trainSet, testSet
+}
+
+// NoiseAccuracyRow is one row of the Table VI reproduction.
+type NoiseAccuracyRow struct {
+	Sigma           float64
+	WeightNoise     float64 // accuracy (%) with σ applied to weights (WS case)
+	ActivationAcc   float64 // accuracy (%) with σ applied to activations (IS case)
+	BaselineNoNoise float64
+}
+
+// NoiseAccuracyTable reproduces Table VI: starting from a pretrained
+// model, continue training for NoiseEpochs with zero-centered Gaussian
+// noise of strength σ injected into either weights or activations, then
+// measure accuracy with the nonideal device still active.
+func NoiseAccuracyTable(cfg ExperimentConfig, sigmas []float64) []NoiseAccuracyRow {
+	base, trainSet, testSet := pretrained(cfg)
+	clean := Accuracy(base, testSet)
+
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	rows := make([]NoiseAccuracyRow, 0, len(sigmas))
+	for i, sigma := range sigmas {
+		row := NoiseAccuracyRow{Sigma: sigma, BaselineNoNoise: clean}
+
+		for rep := 0; rep < repeats; rep++ {
+			off := int64(1000*rep + i)
+
+			// Weight-noise case (WS exposure).
+			wNet := base.Clone()
+			wTr := &Trainer{Net: wNet, LR: cfg.LR, Target: NoiseWeights, Sigma: sigma,
+				Seed: cfg.Seed + 100 + off, WriteInterval: cfg.WriteInterval}
+			wTr.Train(trainSet, cfg.NoiseEpochs)
+			wNet.SetWeightReadNoise(rram.NewNoiseModel(sigma, cfg.Seed+200+off))
+			row.WeightNoise += Accuracy(wNet, testSet)
+			wNet.SetWeightReadNoise(nil)
+
+			// Activation-noise case (IS exposure).
+			aNet := base.Clone()
+			aTr := &Trainer{Net: aNet, LR: cfg.LR, Target: NoiseActivations, Sigma: sigma,
+				Seed: cfg.Seed + 300 + off}
+			aTr.Train(trainSet, cfg.NoiseEpochs)
+			aNet.ActNoise = rram.NewNoiseModel(sigma, cfg.Seed+400+off)
+			row.ActivationAcc += Accuracy(aNet, testSet)
+			aNet.ActNoise = nil
+		}
+		row.WeightNoise /= float64(repeats)
+		row.ActivationAcc /= float64(repeats)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BitDepthRow is one column pair of the Table I reproduction: the accuracy
+// drop (percentage points, negative = worse) relative to the full-precision
+// model when one operand is quantized to Bits while the other stays at 8.
+type BitDepthRow struct {
+	Bits            int
+	ActQuantDrop    float64 // 8-bit weights, activations at Bits
+	WeightQuantDrop float64 // 8-bit activations, weights at Bits
+}
+
+// BitDepthTable reproduces Table I's post-training quantization study.
+func BitDepthTable(cfg ExperimentConfig, bits []int) []BitDepthRow {
+	base, _, testSet := pretrained(cfg)
+	full := Accuracy(base, testSet)
+
+	rows := make([]BitDepthRow, 0, len(bits))
+	for _, b := range bits {
+		row := BitDepthRow{Bits: b}
+
+		// 8-bit weights, b-bit activations.
+		aNet := base.Clone()
+		aNet.QuantizeWeights(8)
+		aNet.Quant = &QuantSpec{ActivationBits: b}
+		row.ActQuantDrop = Accuracy(aNet, testSet) - full
+
+		// 8-bit activations, b-bit weights.
+		wNet := base.Clone()
+		wNet.QuantizeWeights(b)
+		wNet.Quant = &QuantSpec{ActivationBits: 8}
+		row.WeightQuantDrop = Accuracy(wNet, testSet) - full
+
+		rows = append(rows, row)
+	}
+	return rows
+}
