@@ -1,0 +1,24 @@
+# Tier-1 gate for this repo. `make check` is what CI and reviewers run;
+# it must pass on every commit.
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
+bench:
+	$(GO) test -bench PaperSweep -benchtime 10x -run xxx ./internal/sweep/

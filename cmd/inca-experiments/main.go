@@ -1,14 +1,19 @@
 // Command inca-experiments regenerates the paper's tables and figures.
+// Experiments run concurrently on the sweep engine's worker pool (one
+// shared simulation cache deduplicates the cells that figures have in
+// common) and print in deterministic order regardless of -jobs.
 //
 // Usage:
 //
 //	inca-experiments            # run every experiment
 //	inca-experiments -fast      # skip the training-based experiments
 //	inca-experiments -only fig11,table5
+//	inca-experiments -jobs 8 -timeout 5m
 //	inca-experiments -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"github.com/inca-arch/inca/internal/suite"
+	"github.com/inca-arch/inca/internal/sweep"
 )
 
 func main() {
@@ -28,6 +34,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fast := fs.Bool("fast", false, "skip experiments that train networks (Table I, Table VI)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (see -list)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	jobs := fs.Int("jobs", 0, "experiments run concurrently (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,9 +70,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	for _, e := range selected {
-		fmt.Fprintf(stdout, "=== %s ===\n", e.Name)
-		fmt.Fprintln(stdout, e.Run())
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Render every experiment on the engine's fan-out primitive, then
+	// print in selection order so -jobs never changes the output.
+	outputs, err := sweep.Map(ctx, *jobs, selected,
+		func(_ context.Context, e suite.Experiment) (string, error) {
+			return e.Run(), nil
+		})
+	for i, e := range selected {
+		if i < len(outputs) && outputs[i] != "" {
+			fmt.Fprintf(stdout, "=== %s ===\n", e.Name)
+			fmt.Fprintln(stdout, outputs[i])
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	return 0
 }

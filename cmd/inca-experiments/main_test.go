@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -43,4 +44,69 @@ func TestBadFlagFails(t *testing.T) {
 	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
+}
+
+// TestGoldenFastOutput pins the -fast output to the report captured
+// before the suite moved onto the sweep engine. Any diff here means the
+// rewire changed simulated numbers or formatting.
+func TestGoldenFastOutput(t *testing.T) {
+	want, err := os.ReadFile("testdata/fast.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fast"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if out.String() != string(want) {
+		t.Fatalf("-fast output drifted from testdata/fast.golden:\n%s",
+			firstDiff(out.String(), string(want)))
+	}
+}
+
+// TestParallelOutputIdentical asserts -jobs never changes the report.
+func TestParallelOutputIdentical(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	var errOut bytes.Buffer
+	if code := run([]string{"-fast", "-jobs", "1"}, &serial, &errOut); code != 0 {
+		t.Fatalf("serial run exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-fast", "-jobs", "4"}, &parallel, &errOut); code != 0 {
+		t.Fatalf("parallel run exited %d: %s", code, errOut.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("-jobs 4 output differs from serial:\n%s",
+			firstDiff(parallel.String(), serial.String()))
+	}
+}
+
+func TestTimeoutFlag(t *testing.T) {
+	// A generous timeout must not disturb the run.
+	var timed, untimed, errOut bytes.Buffer
+	if code := run([]string{"-only", "fig11", "-timeout", "1m"}, &timed, &errOut); code != 0 {
+		t.Fatalf("timed run exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-only", "fig11"}, &untimed, &errOut); code != 0 {
+		t.Fatalf("untimed run exited %d: %s", code, errOut.String())
+	}
+	if timed.String() != untimed.String() {
+		t.Fatal("-timeout changed the output")
+	}
+	// An already-expired deadline aborts with exit 1.
+	errOut.Reset()
+	var out bytes.Buffer
+	if code := run([]string{"-only", "fig7b", "-timeout", "1ns"}, &out, &errOut); code != 1 {
+		t.Fatalf("expired deadline exited %d, want 1 (stderr %q)", code, errOut.String())
+	}
+}
+
+// firstDiff renders the first line where two outputs diverge.
+func firstDiff(got, want string) string {
+	g, w := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "first divergent line:\n got: " + g[i] + "\nwant: " + w[i]
+		}
+	}
+	return "outputs are a prefix of each other (length mismatch)"
 }

@@ -1,6 +1,9 @@
-// Command inca-sim runs a single accelerator simulation and prints the
-// energy/latency report with its component breakdown and (optionally) the
-// per-layer detail, schedule, placement, and a CSV trace.
+// Command inca-sim runs accelerator simulations on the parallel sweep
+// engine. A single (model, arch, phase) cell prints the detailed
+// energy/latency report with its component breakdown and (optionally)
+// the per-layer detail, schedule, placement, and a CSV trace; comma
+// lists on -model / -arch / -phase expand into a cross-product sweep
+// rendered as one summary table.
 //
 // Usage:
 //
@@ -9,16 +12,22 @@
 //	inca-sim -model ResNet18 -arch gpu
 //	inca-sim -model LeNet5 -placement -csv trace.csv
 //	inca-sim -model VGG16 -config my-accelerator.json
+//	inca-sim -model VGG16,ResNet18 -arch inca,baseline,gpu -phase inference,training -jobs 8
+//	inca-sim -model VGG16 -arch inca -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/inca-arch/inca"
+	"github.com/inca-arch/inca/internal/arch"
 	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/report"
 )
 
 func main() {
@@ -28,78 +37,121 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("inca-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	model := fs.String("model", "ResNet18", "network: VGG16, VGG19, ResNet18, ResNet50, MobileNetV2, MNasNet, AlexNet, VGG16-CIFAR, ResNet18-CIFAR, LeNet5")
-	archName := fs.String("arch", "inca", "architecture: inca, baseline, gpu")
-	phaseName := fs.String("phase", "inference", "phase: inference, training")
+	model := fs.String("model", "ResNet18", "network (comma list sweeps): VGG16, VGG19, ResNet18, ResNet50, MobileNetV2, MNasNet, AlexNet, VGG16-CIFAR, ResNet18-CIFAR, LeNet5")
+	archNames := fs.String("arch", "inca", "architecture (comma list sweeps): inca, baseline, gpu")
+	phaseNames := fs.String("phase", "inference", "phase (comma list sweeps): inference, training")
 	batch := fs.Int("batch", 64, "batch size")
-	layers := fs.Bool("layers", false, "print per-layer results")
-	timeline := fs.Bool("timeline", false, "print an ASCII Gantt of the layer schedule")
-	placement := fs.Bool("placement", false, "print the layer-to-macro placement (inca arch only)")
-	csvPath := fs.String("csv", "", "write the per-layer trace to this CSV file")
+	jobs := fs.Int("jobs", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	layers := fs.Bool("layers", false, "print per-layer results (single cell only)")
+	timeline := fs.Bool("timeline", false, "print an ASCII Gantt of the layer schedule (single cell only)")
+	placement := fs.Bool("placement", false, "print the layer-to-macro placement (single cell, inca arch only)")
+	csvPath := fs.String("csv", "", "write the per-layer trace to this CSV file (single cell only)")
 	configPath := fs.String("config", "", "load a custom accelerator configuration (JSON) instead of -arch defaults")
 	summary := fs.Bool("summary", false, "print the network's layer table and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	net, err := inca.Model(*model)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+	var nets []*inca.Network
+	for _, name := range splitList(*model) {
+		net, err := inca.Model(name)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		nets = append(nets, net)
 	}
 
 	if *summary {
-		fmt.Fprint(stdout, net.Summary())
+		for _, net := range nets {
+			fmt.Fprint(stdout, net.Summary())
+		}
 		return 0
 	}
 
-	phase := inca.Inference
-	switch *phaseName {
-	case "inference":
-	case "training":
-		phase = inca.Training
-	default:
-		fmt.Fprintf(stderr, "unknown phase %q\n", *phaseName)
-		return 2
+	var phases []inca.Phase
+	for _, name := range splitList(*phaseNames) {
+		switch name {
+		case "inference":
+			phases = append(phases, inca.Inference)
+		case "training":
+			phases = append(phases, inca.Training)
+		default:
+			fmt.Fprintf(stderr, "unknown phase %q\n", name)
+			return 2
+		}
 	}
 
-	var m inca.Machine
-	var cfg inca.Config
-	switch *archName {
-	case "inca":
-		cfg = inca.DefaultINCA()
-	case "baseline":
-		cfg = inca.DefaultBaseline()
-	case "gpu":
-		m = inca.NewGPU()
-	default:
-		fmt.Fprintf(stderr, "unknown arch %q\n", *archName)
-		return 2
-	}
+	var custom *inca.Config
 	if *configPath != "" {
 		loaded, err := inca.LoadConfig(*configPath)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		cfg = loaded
+		custom = &loaded
 	}
-	if m == nil {
+
+	var archs []inca.SweepArch
+	for _, name := range splitList(*archNames) {
+		var cfg inca.Config
+		switch name {
+		case "inca":
+			cfg = inca.DefaultINCA()
+		case "baseline":
+			cfg = inca.DefaultBaseline()
+		case "gpu":
+			archs = append(archs, inca.SweepGPU())
+			continue
+		default:
+			fmt.Fprintf(stderr, "unknown arch %q\n", name)
+			return 2
+		}
+		if custom != nil {
+			cfg = *custom
+		}
 		cfg.BatchSize = *batch
-		if *archName == "baseline" {
-			m = inca.NewBaseline(cfg)
-		} else {
-			m = inca.NewINCA(cfg)
+		archs = append(archs, inca.SweepConfig(cfg))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	plan := inca.SweepPlan{Archs: archs, Networks: nets, Phases: phases}
+	results, err := inca.RunSweep(ctx, plan, inca.SweepOptions{Workers: *jobs})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(stderr, "%s %s %s: %v\n", r.Cell.Arch.Name, r.Cell.Network.Name, r.Cell.Phase, r.Err)
+			return 1
 		}
 	}
 
-	rep := m.Simulate(net, phase)
+	if len(results) == 1 {
+		return printDetail(results[0], *layers, *timeline, *placement, *csvPath, stdout, stderr)
+	}
+	return printSweep(results, stdout)
+}
+
+// printDetail renders the classic single-simulation report.
+func printDetail(res inca.SweepResult, layers, timeline, placement bool, csvPath string, stdout, stderr io.Writer) int {
+	rep := res.Report
 	fmt.Fprintln(stdout, rep)
-	fmt.Fprintf(stdout, "  energy/image: %s\n", metrics.FormatEnergy(rep.EnergyPerImage()))
+	if perImage, err := rep.EnergyPerImage(); err == nil {
+		fmt.Fprintf(stdout, "  energy/image: %s\n", metrics.FormatEnergy(perImage))
+	}
 	fmt.Fprintf(stdout, "  throughput:   %.1f images/s\n", rep.Throughput())
 	fmt.Fprintf(stdout, "  breakdown:    %s\n", rep.Total.Energy)
 
-	if *layers {
+	if layers {
 		fmt.Fprintln(stdout, "  per-layer:")
 		for _, lr := range rep.Layers {
 			fmt.Fprintf(stdout, "    %-28s %-10s %-10s util %.2f\n",
@@ -109,15 +161,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				lr.Utilization)
 		}
 	}
-	if *timeline {
+	if timeline {
+		gantt, err := inca.Timeline(rep, 6, 100)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 		fmt.Fprintln(stdout, "  schedule:")
-		fmt.Fprint(stdout, inca.Timeline(rep, 6, 100))
+		fmt.Fprint(stdout, gantt)
 	}
-	if *placement && *archName == "inca" {
-		fmt.Fprint(stdout, inca.PlaceNetwork(cfg, net))
+	if placement && !res.Cell.Arch.Fixed && res.Cell.Config.Dataflow == arch.InputStationary {
+		fmt.Fprint(stdout, inca.PlaceNetwork(res.Cell.Config, res.Cell.Network))
 	}
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -127,7 +184,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "  trace written to %s\n", *csvPath)
+		fmt.Fprintf(stdout, "  trace written to %s\n", csvPath)
 	}
 	return 0
+}
+
+// printSweep renders a cross-product run as one table, in plan order.
+func printSweep(results []inca.SweepResult, stdout io.Writer) int {
+	t := report.New("Sweep: "+fmt.Sprint(len(results))+" cells",
+		"arch", "network", "phase", "energy (J)", "latency (s)", "J/image", "images/s")
+	cached := 0
+	for _, r := range results {
+		if r.Cached {
+			cached++
+		}
+		perImage, _ := r.Report.EnergyPerImage()
+		t.AddRow(r.Cell.Arch.Name, r.Cell.Network.Name, r.Cell.Phase.String(),
+			r.Report.Total.Energy.Total(), r.Report.Total.Latency,
+			perImage, r.Report.Throughput())
+	}
+	fmt.Fprint(stdout, t.String())
+	fmt.Fprintf(stdout, "cells: %d (%d served from cache)\n", len(results), cached)
+	return 0
+}
+
+// splitList parses a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

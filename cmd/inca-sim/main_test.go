@@ -84,6 +84,53 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestSweepMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-model", "LeNet5,VGG16-CIFAR", "-arch", "inca,baseline,gpu",
+		"-phase", "inference,training", "-jobs", "4"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Sweep: 12 cells") {
+		t.Fatalf("missing sweep header:\n%s", s)
+	}
+	for _, want := range []string{"INCA", "WS-Baseline", "TitanRTX", "LeNet5", "VGG16-CIFAR", "cells: 12"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("sweep table missing %q", want)
+		}
+	}
+	// GPU ignores batch/config, so its two nets x two phases dedupe per
+	// (net, phase); nothing repeats here, so no cache hits expected —
+	// but the summary line must always be present and well-formed.
+	if !strings.Contains(s, "served from cache)") {
+		t.Fatalf("missing cache summary line:\n%s", s)
+	}
+
+	// Same sweep serially must print the identical table.
+	var serial bytes.Buffer
+	if code := run(append(args[:len(args)-2], "-jobs", "1"), &serial, &errOut); code != 0 {
+		t.Fatalf("serial exit %d: %s", code, errOut.String())
+	}
+	if serial.String() != s {
+		t.Fatalf("-jobs changed sweep output:\nserial:\n%s\nparallel:\n%s", serial.String(), s)
+	}
+}
+
+func TestSweepTimeout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-model", "LeNet5", "-arch", "inca,baseline",
+		"-timeout", "1ns"}, &out, &errOut); code != 1 {
+		t.Fatalf("expired deadline exited %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-model", "LeNet5", "-arch", "inca",
+		"-timeout", "1m"}, &out, &errOut); code != 0 {
+		t.Fatalf("generous timeout exited %d: %s", code, errOut.String())
+	}
+}
+
 func TestSummaryFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-model", "AlexNet", "-summary"}, &out, &errOut); code != 0 {

@@ -1,6 +1,7 @@
 package inca_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/inca-arch/inca"
@@ -20,9 +21,37 @@ func ExampleCompare() {
 // Evaluate the Table IV memory-footprint formulas.
 func ExampleMemoryFootprint() {
 	net, _ := inca.Model("VGG16")
-	f := inca.MemoryFootprint(net)
+	f, err := inca.MemoryFootprint(net)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("baseline RRAM %.1f MB, INCA RRAM %.1f MB\n", f.BaselineRRAM, f.INCARRAM)
 	// Output: baseline RRAM 272.6 MB, INCA RRAM 8.7 MB
+}
+
+// Simulate through the v2 context-aware API.
+func ExampleSimulator() {
+	sim, err := inca.New(inca.DefaultINCA())
+	if err != nil {
+		panic(err)
+	}
+	net, _ := inca.Model("ResNet18")
+	rep, err := sim.Simulate(context.Background(), net, inca.Inference)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Arch, rep.Network, rep.Batch)
+	// Output: INCA ResNet18 64
+}
+
+// Fan the paper's full evaluation out over the sweep engine.
+func ExampleRunSweep() {
+	results, err := inca.RunSweep(context.Background(), inca.PaperSweep(), inca.SweepOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(results), "cells")
+	// Output: 36 cells
 }
 
 // Count the Table III buffer accesses analytically.

@@ -22,7 +22,7 @@ func main() {
 	ds := inca.SyntheticDataset(cfg)
 	trainSet, testSet := ds.Split(0.25)
 
-	net := inca.NewClassifier(99, 1, cfg.H, cfg.W, cfg.Classes)
+	net := inca.BuildClassifier(inca.WithSeed(99), inca.WithInputShape(1, cfg.H, cfg.W), inca.WithClasses(cfg.Classes))
 	machine := inca.NewInSitu(inca.InSituOptions{})
 
 	fmt.Println("training entirely on the 2T1R array models...")

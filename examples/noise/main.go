@@ -26,10 +26,10 @@ func main() {
 
 	const sigma = 0.05
 	isOut := inca.INCAFunctionalConv([]*inca.Tensor{x}, w, inca.INCAArrayOptions{
-		Stride: 1, Pad: 1, Noise: inca.NewNoiseModel(sigma, 3),
+		Stride: 1, Pad: 1, Noise: inca.BuildNoiseModel(inca.WithNoise(sigma), inca.WithSeed(3)),
 	})[0]
 	wsOut := inca.WSFunctionalConv(x, w, inca.WSArrayOptions{
-		Stride: 1, Pad: 1, Noise: inca.NewNoiseModel(sigma, 4),
+		Stride: 1, Pad: 1, Noise: inca.BuildNoiseModel(inca.WithNoise(sigma), inca.WithSeed(4)),
 	})
 
 	fmt.Printf("array-level output RMS error at sigma=%.0f%%:\n", sigma*100)

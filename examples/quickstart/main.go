@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,20 +13,36 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	net, err := inca.Model("ResNet18")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	incaMachine := inca.NewINCA(inca.DefaultINCA())
-	baseMachine := inca.NewBaseline(inca.DefaultBaseline())
-	gpuMachine := inca.NewGPU()
+	incaSim, err := inca.New(inca.DefaultINCA())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSim, err := inca.New(inca.DefaultBaseline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuSim := inca.NewGPUSimulator()
 
 	for _, phase := range []inca.Phase{inca.Inference, inca.Training} {
 		fmt.Printf("--- %s on %s (batch 64) ---\n", phase, net.Name)
-		incaRep := incaMachine.Simulate(net, phase)
-		baseRep := baseMachine.Simulate(net, phase)
-		gpuRep := gpuMachine.Simulate(net, phase)
+		incaRep, err := incaSim.Simulate(ctx, net, phase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseRep, err := baseSim.Simulate(ctx, net, phase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gpuRep, err := gpuSim.Simulate(ctx, net, phase)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		fmt.Println("INCA:    ", incaRep)
 		fmt.Println("Baseline:", baseRep)

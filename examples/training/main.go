@@ -17,7 +17,7 @@ func main() {
 	ds := inca.SyntheticDataset(cfg)
 	trainSet, testSet := ds.Split(0.25)
 
-	net := inca.NewClassifier(42, 1, cfg.H, cfg.W, cfg.Classes)
+	net := inca.BuildClassifier(inca.WithSeed(42), inca.WithInputShape(1, cfg.H, cfg.W), inca.WithClasses(cfg.Classes))
 	fmt.Printf("dataset: %d train / %d test samples, %d classes\n",
 		trainSet.Len(), testSet.Len(), cfg.Classes)
 	fmt.Printf("accuracy before training: %.1f%%\n", inca.ClassifierAccuracy(net, testSet))

@@ -6,22 +6,23 @@
 //	"INCA: Input-stationary Dataflow at Outside-the-box Thinking about
 //	 Deep Learning Accelerators", Kim, Li & Li, HPCA 2023.
 //
-// Quickstart:
+// Quickstart (v2 API — context-aware, error-returning):
 //
-//	cfg := inca.DefaultINCA()
-//	machine := inca.NewINCA(cfg)
+//	sim, err := inca.New(inca.DefaultINCA())
 //	net, _ := inca.Model("ResNet18")
-//	rep := machine.Simulate(net, inca.Inference)
+//	rep, err := sim.Simulate(ctx, net, inca.Inference)
 //	fmt.Println(rep)
 //
 // Compare against the WS baseline:
 //
-//	base := inca.NewBaseline(inca.DefaultBaseline())
-//	cmp := inca.Compare(rep, base.Simulate(net, inca.Inference))
+//	base, _ := inca.New(inca.DefaultBaseline())
+//	baseRep, _ := base.Simulate(ctx, net, inca.Inference)
+//	cmp := inca.Compare(rep, baseRep)
 //	fmt.Printf("%.1fx energy, %.1fx speed\n", cmp.EnergyRatio, cmp.Speedup)
 package inca
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/inca-arch/inca/internal/access"
@@ -38,6 +39,7 @@ import (
 	"github.com/inca-arch/inca/internal/rram"
 	"github.com/inca-arch/inca/internal/sched"
 	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 	"github.com/inca-arch/inca/internal/train"
 )
@@ -78,18 +80,73 @@ func Model(name string) (*Network, error) { return nn.ByName(name) }
 // Models returns the six ImageNet networks of the paper's evaluation.
 func Models() []*Network { return nn.PaperModels() }
 
-// Machine simulates a network execution on some architecture.
+// Sentinel errors of the v2 API. Test with errors.Is.
+var (
+	// ErrNilNetwork reports a nil network passed to Simulate.
+	ErrNilNetwork = sim.ErrNilNetwork
+	// ErrEmptyNetwork reports a network with no layers.
+	ErrEmptyNetwork = sim.ErrEmptyNetwork
+	// ErrEmptyReport reports a nil or layer-less report where per-layer
+	// data is required (Timeline).
+	ErrEmptyReport = sim.ErrEmptyReport
+	// ErrZeroBatch reports a report whose batch size is not positive, so
+	// per-image quantities are undefined.
+	ErrZeroBatch = sim.ErrZeroBatch
+)
+
+// Simulator is the v2 simulation interface: it propagates context
+// cancellation/deadlines and reports invalid input (nil networks,
+// unknown phases) as errors instead of panicking. Implementations are
+// safe for concurrent use; the sweep engine drives one from many
+// goroutines.
+type Simulator interface {
+	Simulate(ctx context.Context, net *Network, phase Phase) (*Report, error)
+}
+
+// New builds the simulator for a configuration, selecting the
+// input-stationary model or the WS baseline by its Dataflow field. It
+// returns an error for an invalid configuration (where the deprecated
+// constructors panic).
+func New(cfg Config) (Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dataflow == arch.InputStationary {
+		return sim.Wrap(core.New(cfg)), nil
+	}
+	return sim.Wrap(baseline.New(cfg)), nil
+}
+
+// NewGPUSimulator builds the Titan RTX roofline model of Fig. 15 behind
+// the v2 interface.
+func NewGPUSimulator() Simulator { return sim.Wrap(gpu.New(gpu.TitanRTX())) }
+
+// Machine is the legacy context-free simulation interface.
+//
+// Deprecated: use Simulator (via New / NewGPUSimulator), which accepts a
+// context and returns errors. Machine remains as a thin adapter so
+// existing callers compile; its Simulate panics on invalid
+// configurations and cannot be cancelled.
 type Machine interface {
 	Simulate(net *Network, phase Phase) *Report
 }
 
 // NewINCA builds the input-stationary accelerator simulator.
+//
+// Deprecated: use New(cfg), which validates cfg instead of panicking and
+// returns the context-aware Simulator.
 func NewINCA(cfg Config) Machine { return core.New(cfg) }
 
 // NewBaseline builds the weight-stationary baseline simulator.
+//
+// Deprecated: use New(cfg), which validates cfg instead of panicking and
+// returns the context-aware Simulator.
 func NewBaseline(cfg Config) Machine { return baseline.New(cfg) }
 
 // NewGPU builds the Titan RTX roofline model of Fig. 15.
+//
+// Deprecated: use NewGPUSimulator, which returns the context-aware
+// Simulator.
 func NewGPU() Machine { return gpu.New(gpu.TitanRTX()) }
 
 // GPUArea returns the GPU die area (mm²) for iso-area comparisons.
@@ -139,8 +196,16 @@ type Footprint struct {
 }
 
 // MemoryFootprint evaluates Table IV's formulas for a network at 8-bit
-// precision.
-func MemoryFootprint(net *Network) Footprint {
+// precision. It returns ErrNilNetwork for a nil network and
+// ErrEmptyNetwork for one with no layers (instead of an all-zero
+// Footprint).
+func MemoryFootprint(net *Network) (Footprint, error) {
+	if net == nil {
+		return Footprint{}, ErrNilNetwork
+	}
+	if len(net.Layers) == 0 {
+		return Footprint{}, ErrEmptyNetwork
+	}
 	const mb = 1024 * 1024
 	w := float64(net.TotalWeights()) / mb
 	a := float64(net.TotalActivations()) / mb
@@ -150,7 +215,7 @@ func MemoryFootprint(net *Network) Footprint {
 		BaselineBuffer: a,
 		INCARRAM:       a,
 		INCABuffer:     w,
-	}
+	}, nil
 }
 
 // Accuracy experiment re-exports (Tables I and VI).
@@ -215,8 +280,69 @@ func RandnTensor(seed int64, stddev float64, dims ...int) *Tensor {
 
 // NewNoiseModel returns a device nonideality model of relative strength
 // sigma.
+//
+// Deprecated: use BuildNoiseModel(WithNoise(sigma), WithSeed(seed)) —
+// the functional-option constructor reads at call sites and gains knobs
+// without signature breaks.
 func NewNoiseModel(sigma float64, seed int64) *NoiseModel {
 	return rram.NewNoiseModel(sigma, seed)
+}
+
+// Option configures the functional-option constructors BuildClassifier
+// and BuildNoiseModel. Options irrelevant to a constructor are ignored,
+// so one option list can configure a whole experiment.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	seed          int64
+	sigma         float64
+	inC, inH, inW int
+	classes       int
+}
+
+// defaultBuildOptions mirrors DefaultDataConfig(): grayscale 16×16
+// inputs, 10 classes, and the practically adopted 1% noise strength.
+func defaultBuildOptions() buildOptions {
+	d := data.DefaultConfig()
+	return buildOptions{seed: 1, sigma: 0.01, inC: 1, inH: d.H, inW: d.W, classes: d.Classes}
+}
+
+// WithSeed sets the deterministic RNG seed (default 1).
+func WithSeed(seed int64) Option { return func(o *buildOptions) { o.seed = seed } }
+
+// WithNoise sets the relative device-noise strength σ (default 0.01).
+func WithNoise(sigma float64) Option { return func(o *buildOptions) { o.sigma = sigma } }
+
+// WithInputShape sets the classifier's input dimensions (default the
+// synthetic dataset's 1×16×16).
+func WithInputShape(c, h, w int) Option {
+	return func(o *buildOptions) { o.inC, o.inH, o.inW = c, h, w }
+}
+
+// WithClasses sets the classifier's output class count (default 10).
+func WithClasses(n int) Option { return func(o *buildOptions) { o.classes = n } }
+
+// BuildClassifier constructs the compact experiment CNN from functional
+// options; it replaces the positional NewClassifier. Unspecified options
+// match DefaultDataConfig(), so BuildClassifier() pairs with
+// SyntheticDataset(DefaultDataConfig()).
+func BuildClassifier(opts ...Option) *Classifier {
+	o := defaultBuildOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return train.SmallCNN(rand.New(rand.NewSource(o.seed)), o.inC, o.inH, o.inW, o.classes)
+}
+
+// BuildNoiseModel constructs a device nonideality model from functional
+// options (WithNoise for σ, WithSeed for the RNG stream); it replaces
+// the positional NewNoiseModel.
+func BuildNoiseModel(opts ...Option) *NoiseModel {
+	o := defaultBuildOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return rram.NewNoiseModel(o.sigma, o.seed)
 }
 
 // DefaultDataConfig returns the synthetic 10-class dataset configuration.
@@ -226,6 +352,10 @@ func DefaultDataConfig() DataConfig { return data.DefaultConfig() }
 func SyntheticDataset(cfg DataConfig) *Dataset { return data.Generate(cfg) }
 
 // NewClassifier builds the compact CNN used by the accuracy experiments.
+//
+// Deprecated: use BuildClassifier(WithSeed(seed), WithInputShape(inC,
+// inH, inW), WithClasses(classes)) — the functional-option constructor
+// names each argument at the call site.
 func NewClassifier(seed int64, inC, inH, inW, classes int) *Classifier {
 	return train.SmallCNN(rand.New(rand.NewSource(seed)), inC, inH, inW, classes)
 }
@@ -252,14 +382,19 @@ func LoadConfig(path string) (Config, error) { return arch.Load(path) }
 // the WS baseline pipelines images through layers in inference and
 // serializes them in training, while INCA executes each layer once for
 // the whole batch. items bounds how many images are drawn (legibility);
-// width is the chart width in characters.
-func Timeline(rep *Report, items, width int) string {
+// width is the chart width in characters. It returns ErrEmptyReport for
+// a nil or layer-less report and ErrZeroBatch when the report's batch
+// size is not positive (the per-image stage latencies are undefined).
+func Timeline(rep *Report, items, width int) (string, error) {
+	if rep == nil || len(rep.Layers) == 0 {
+		return "", ErrEmptyReport
+	}
+	if rep.Batch <= 0 {
+		return "", ErrZeroBatch
+	}
 	stages := make([]sched.Stage, 0, len(rep.Layers))
 	for _, lr := range rep.Layers {
-		perImage := lr.Result.Latency
-		if rep.Batch > 0 {
-			perImage /= float64(rep.Batch)
-		}
+		perImage := lr.Result.Latency / float64(rep.Batch)
 		stages = append(stages, sched.Stage{Name: lr.Layer.Name, Latency: perImage})
 	}
 	if items < 1 {
@@ -279,7 +414,7 @@ func Timeline(rep *Report, items, width int) string {
 	default:
 		entries = sched.LayerPipeline(stages, items)
 	}
-	return sched.Gantt(entries, width)
+	return sched.Gantt(entries, width), nil
 }
 
 // --- In-situ execution (whole networks on the array models) ---
@@ -339,4 +474,55 @@ func INCAFunctionalConv(batch []*Tensor, w *Tensor, opt INCAArrayOptions) []*Ten
 func WSFunctionalConv(x, w *Tensor, opt WSArrayOptions) *Tensor {
 	out, _ := baseline.FunctionalConv2D(x, w, opt)
 	return out
+}
+
+// --- Sweep engine (parallel cross-product evaluation) ---
+
+type (
+	// SweepPlan declares a sweep as architectures × networks × phases ×
+	// configuration overrides.
+	SweepPlan = sweep.Plan
+	// SweepArch is one architecture axis entry of a plan.
+	SweepArch = sweep.Arch
+	// SweepOverride is one named configuration transform of a plan.
+	SweepOverride = sweep.Override
+	// SweepOptions tunes a run: worker-pool size and a shareable cache.
+	SweepOptions = sweep.Options
+	// SweepResult is one completed (or failed) cell evaluation.
+	SweepResult = sweep.Result
+	// SweepCache memoizes cell reports with singleflight deduplication.
+	SweepCache = sweep.Cache
+)
+
+// SweepINCA returns the paper's INCA accelerator as a sweep axis.
+func SweepINCA() SweepArch { return sweep.INCAArch() }
+
+// SweepBaseline returns the 2D WS baseline as a sweep axis.
+func SweepBaseline() SweepArch { return sweep.BaselineArch() }
+
+// SweepGPU returns the Titan RTX roofline model as a sweep axis.
+func SweepGPU() SweepArch { return sweep.GPUArch() }
+
+// SweepConfig wraps an explicit configuration as a sweep axis, selecting
+// the IS or WS model by its Dataflow field.
+func SweepConfig(cfg Config) SweepArch { return sweep.ConfigArch(cfg) }
+
+// PaperSweep returns the full Figs. 11–16 evaluation cross product:
+// {INCA, WS baseline, GPU} × the six ImageNet CNNs × both phases.
+func PaperSweep() SweepPlan { return sweep.PaperPlan() }
+
+// NewSweepCache returns an empty memoization cache to share across runs.
+func NewSweepCache() *SweepCache { return sweep.NewCache() }
+
+// RunSweep evaluates every cell of the plan on a bounded worker pool and
+// returns the results in deterministic plan order. Cancelling ctx stops
+// new evaluations; unexecuted cells carry the context's error.
+func RunSweep(ctx context.Context, p SweepPlan, opt SweepOptions) ([]SweepResult, error) {
+	return sweep.Run(ctx, p, opt)
+}
+
+// StreamSweep launches the sweep and delivers results in completion
+// order; the channel closes once every cell has reported.
+func StreamSweep(ctx context.Context, p SweepPlan, opt SweepOptions) (<-chan SweepResult, error) {
+	return sweep.Stream(ctx, p, opt)
 }

@@ -1,6 +1,8 @@
 package inca
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -64,7 +66,10 @@ func TestFacadeAreas(t *testing.T) {
 
 func TestFacadeMemoryFootprint(t *testing.T) {
 	net, _ := Model("VGG16")
-	f := MemoryFootprint(net)
+	f, err := MemoryFootprint(net)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Table IV: baseline RRAM = 2W + A; INCA RRAM = A; buffers swap.
 	if f.BaselineRRAM <= f.INCARRAM {
 		t.Fatal("baseline RRAM must exceed INCA's (transposed weights + errors)")
@@ -144,18 +149,112 @@ func TestFacadeLoadConfig(t *testing.T) {
 func TestFacadeTimeline(t *testing.T) {
 	net, _ := Model("LeNet5")
 	base := NewBaseline(DefaultBaseline()).Simulate(net, Inference)
-	g := Timeline(base, 4, 80)
+	g, err := Timeline(base, 4, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(g) < 100 || g == "(empty schedule)\n" {
 		t.Fatalf("timeline too small:\n%s", g)
 	}
 	inca := NewINCA(DefaultINCA()).Simulate(net, Inference)
-	gi := Timeline(inca, 4, 80)
-	if gi == g {
-		t.Fatal("INCA and baseline timelines should differ")
+	gi, err := Timeline(inca, 4, 80)
+	if err != nil || gi == g {
+		t.Fatalf("INCA and baseline timelines should differ (err %v)", err)
 	}
 	trn := NewBaseline(DefaultBaseline()).Simulate(net, Training)
-	if Timeline(trn, 2, 80) == g {
-		t.Fatal("training timeline should differ from inference")
+	gt, err := Timeline(trn, 2, 80)
+	if err != nil || gt == g {
+		t.Fatalf("training timeline should differ from inference (err %v)", err)
+	}
+}
+
+func TestFacadeErrorSentinels(t *testing.T) {
+	if _, err := Timeline(nil, 4, 80); !errors.Is(err, ErrEmptyReport) {
+		t.Fatalf("Timeline(nil) err = %v, want ErrEmptyReport", err)
+	}
+	if _, err := Timeline(&Report{}, 4, 80); !errors.Is(err, ErrEmptyReport) {
+		t.Fatalf("Timeline(layerless) err = %v, want ErrEmptyReport", err)
+	}
+	net, _ := Model("LeNet5")
+	rep := NewINCA(DefaultINCA()).Simulate(net, Inference)
+	zeroBatch := *rep
+	zeroBatch.Batch = 0
+	if _, err := Timeline(&zeroBatch, 4, 80); !errors.Is(err, ErrZeroBatch) {
+		t.Fatalf("Timeline(zero batch) err = %v, want ErrZeroBatch", err)
+	}
+	if _, err := MemoryFootprint(nil); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("MemoryFootprint(nil) err = %v, want ErrNilNetwork", err)
+	}
+	if _, err := MemoryFootprint(&Network{Name: "empty"}); !errors.Is(err, ErrEmptyNetwork) {
+		t.Fatalf("MemoryFootprint(empty) err = %v, want ErrEmptyNetwork", err)
+	}
+	if _, err := zeroBatch.EnergyPerImage(); !errors.Is(err, ErrZeroBatch) {
+		t.Fatalf("EnergyPerImage(zero batch) err = %v, want ErrZeroBatch", err)
+	}
+}
+
+func TestFacadeSimulatorV2(t *testing.T) {
+	ctx := context.Background()
+	s, err := New(DefaultINCA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := Model("ResNet18")
+	rep, err := s.Simulate(ctx, net, Inference)
+	if err != nil || rep.Arch != "INCA" {
+		t.Fatalf("Simulate = %v, %v", rep, err)
+	}
+	// The v2 path must agree byte-for-byte with the deprecated adapter.
+	if rep.String() != NewINCA(DefaultINCA()).Simulate(net, Inference).String() {
+		t.Fatal("v2 and legacy INCA reports disagree")
+	}
+	ws, err := New(DefaultBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsRep, err := ws.Simulate(ctx, net, Training)
+	if err != nil || wsRep.Arch != "WS-Baseline" {
+		t.Fatalf("baseline Simulate = %v, %v", wsRep, err)
+	}
+	if _, err := NewGPUSimulator().Simulate(ctx, net, Training); err != nil {
+		t.Fatalf("gpu Simulate err = %v", err)
+	}
+
+	if _, err := s.Simulate(ctx, nil, Inference); !errors.Is(err, ErrNilNetwork) {
+		t.Fatalf("nil network err = %v, want ErrNilNetwork", err)
+	}
+	if _, err := s.Simulate(ctx, net, Phase(99)); err == nil {
+		t.Fatal("unknown phase should error")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.Simulate(cancelled, net, Inference); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx err = %v, want context.Canceled", err)
+	}
+	bad := DefaultINCA()
+	bad.BatchSize = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid config should error instead of panicking")
+	}
+}
+
+func TestFacadeFunctionalOptions(t *testing.T) {
+	// Option-built and positional constructors must agree exactly.
+	a := BuildClassifier(WithSeed(7), WithInputShape(1, 12, 12), WithClasses(3))
+	b := NewClassifier(7, 1, 12, 12, 3)
+	x := RandnTensor(5, 1, 1, 12, 12)
+	if !a.Forward(x).Equal(b.Forward(x), 0) {
+		t.Fatal("BuildClassifier disagrees with NewClassifier at equal settings")
+	}
+	n1 := BuildNoiseModel(WithNoise(0.02), WithSeed(3))
+	n2 := NewNoiseModel(0.02, 3)
+	if n1.Perturb(1, 1) != n2.Perturb(1, 1) {
+		t.Fatal("BuildNoiseModel disagrees with NewNoiseModel at equal settings")
+	}
+	// Defaults pair with the synthetic dataset.
+	ds := SyntheticDataset(DefaultDataConfig())
+	if acc := ClassifierAccuracy(BuildClassifier(), ds); acc < 0 || acc > 100 {
+		t.Fatalf("default BuildClassifier accuracy out of range: %v", acc)
 	}
 }
 

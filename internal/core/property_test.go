@@ -80,7 +80,12 @@ func TestPropertyBatchMonotonicity(t *testing.T) {
 		if r2.Total.Energy.Total() <= r1.Total.Energy.Total() {
 			return false
 		}
-		return r2.EnergyPerImage() <= r1.EnergyPerImage()*1.0001
+		e1, err1 := r1.EnergyPerImage()
+		e2, err2 := r2.EnergyPerImage()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return e2 <= e1*1.0001
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)

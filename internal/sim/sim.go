@@ -70,12 +70,17 @@ func (r *Report) Utilization() float64 {
 	return useful / alloc
 }
 
-// EnergyPerImage returns total energy divided by batch size.
-func (r *Report) EnergyPerImage() float64 {
-	if r.Batch == 0 {
-		return 0
+// EnergyPerImage returns total energy divided by batch size. It returns
+// ErrEmptyReport for a nil report and ErrZeroBatch when the batch size is
+// not positive (instead of silently reporting zero joules).
+func (r *Report) EnergyPerImage() (float64, error) {
+	if r == nil {
+		return 0, ErrEmptyReport
 	}
-	return r.Total.Energy.Total() / float64(r.Batch)
+	if r.Batch <= 0 {
+		return 0, ErrZeroBatch
+	}
+	return r.Total.Energy.Total() / float64(r.Batch), nil
 }
 
 // Throughput returns images per second for the simulated batch.
@@ -95,8 +100,13 @@ func (r *Report) String() string {
 		100*r.Utilization())
 }
 
-// Simulator is implemented by both accelerator models.
-type Simulator interface {
+// Machine is the legacy context-free simulation interface implemented by
+// the accelerator models.
+//
+// Deprecated: new code should consume Simulator (see Wrap), which
+// propagates context cancellation and reports invalid input as errors
+// instead of panicking.
+type Machine interface {
 	// Simulate executes the network for one batch in the given phase.
 	Simulate(net *nn.Network, phase Phase) *Report
 }

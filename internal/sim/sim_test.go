@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -50,14 +51,21 @@ func TestEnergyPerImageAndThroughput(t *testing.T) {
 	res.Energy.Add(metrics.ADC, 64)
 	res.Latency = 2
 	r := &Report{Batch: 64, Total: res}
-	if got := r.EnergyPerImage(); got != 1 {
-		t.Fatalf("EnergyPerImage = %v, want 1", got)
+	if got, err := r.EnergyPerImage(); err != nil || got != 1 {
+		t.Fatalf("EnergyPerImage = %v, %v, want 1", got, err)
 	}
 	if got := r.Throughput(); got != 32 {
 		t.Fatalf("Throughput = %v, want 32", got)
 	}
 	zero := &Report{}
-	if zero.EnergyPerImage() != 0 || zero.Throughput() != 0 {
+	if _, err := zero.EnergyPerImage(); !errors.Is(err, ErrZeroBatch) {
+		t.Fatalf("zero-batch EnergyPerImage err = %v, want ErrZeroBatch", err)
+	}
+	var nilRep *Report
+	if _, err := nilRep.EnergyPerImage(); !errors.Is(err, ErrEmptyReport) {
+		t.Fatalf("nil-report EnergyPerImage err = %v, want ErrEmptyReport", err)
+	}
+	if zero.Throughput() != 0 {
 		t.Fatal("zero report should not divide by zero")
 	}
 }

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/nn"
+)
+
+// Sentinel errors shared by the v2 simulation API. Callers test them with
+// errors.Is.
+var (
+	// ErrNilNetwork reports a nil *nn.Network argument.
+	ErrNilNetwork = errors.New("sim: nil network")
+	// ErrEmptyNetwork reports a network with no layers.
+	ErrEmptyNetwork = errors.New("sim: network has no layers")
+	// ErrEmptyReport reports a nil or layer-less report where per-layer or
+	// per-image data is required.
+	ErrEmptyReport = errors.New("sim: empty report")
+	// ErrZeroBatch reports a report whose batch size is not positive, so
+	// per-image quantities are undefined.
+	ErrZeroBatch = errors.New("sim: report batch size is not positive")
+)
+
+// Simulator is the v2 execution interface: context-aware and
+// error-returning. Implementations must be safe for concurrent use — the
+// sweep engine calls Simulate from many goroutines.
+type Simulator interface {
+	// Simulate executes the network for one batch in the given phase. It
+	// returns ErrNilNetwork for a nil network, an error wrapping
+	// ctx.Err() when the context is cancelled or past its deadline, and
+	// an error for an unknown phase.
+	Simulate(ctx context.Context, net *nn.Network, phase Phase) (*Report, error)
+}
+
+// Wrap adapts a legacy context-free Machine to the Simulator interface,
+// adding the argument validation and context checks the old API lacked
+// (it panicked or returned garbage on bad input). The context is honored
+// at whole-simulation granularity: a cell that has started runs to
+// completion, which for the analytical models is microseconds.
+func Wrap(m Machine) Simulator { return wrapped{m} }
+
+type wrapped struct{ m Machine }
+
+func (w wrapped) Simulate(ctx context.Context, net *nn.Network, phase Phase) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	if len(net.Layers) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrEmptyNetwork, net.Name)
+	}
+	if phase != Inference && phase != Training {
+		return nil, fmt.Errorf("sim: unknown phase %d", int(phase))
+	}
+	return w.m.Simulate(net, phase), nil
+}

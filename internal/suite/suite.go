@@ -5,20 +5,45 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/inca-arch/inca/internal/access"
 	"github.com/inca-arch/inca/internal/arch"
-	"github.com/inca-arch/inca/internal/baseline"
-	"github.com/inca-arch/inca/internal/core"
 	"github.com/inca-arch/inca/internal/endure"
 	"github.com/inca-arch/inca/internal/gpu"
 	"github.com/inca-arch/inca/internal/metrics"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/report"
 	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/train"
 )
+
+// engineCache memoizes simulation cells across every experiment of the
+// process: Fig. 11, 12, 13a, 14 and 16b all evaluate (INCA, VGG16,
+// inference)-style cells, and the sweep engine computes each distinct
+// (config, network, phase) key exactly once.
+var engineCache = sweep.NewCache()
+
+// evalPlan runs a plan on the sweep engine with the shared cache and
+// returns the reports in deterministic plan order (architectures
+// outermost, then overrides, networks, phases). The suite's plans are
+// static and valid, so any cell failure is a programming error.
+func evalPlan(p sweep.Plan) []*sim.Report {
+	results, err := sweep.Run(context.Background(), p, sweep.Options{Cache: engineCache})
+	if err != nil {
+		panic("suite: " + err.Error())
+	}
+	reps := make([]*sim.Report, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("suite: cell %s: %v", r.Cell.Key(), r.Err))
+		}
+		reps[i] = r.Report
+	}
+	return reps
+}
 
 // Experiment is one regenerable table or figure.
 type Experiment struct {
@@ -82,12 +107,15 @@ func Fig1b() string {
 func Fig6() string {
 	cfg := arch.Baseline()
 	cfg.BatchSize = 1
-	m := baseline.New(cfg)
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.ConfigArch(cfg)},
+		Networks: []*nn.Network{nn.VGG16CIFAR(), nn.ResNet18CIFAR()},
+		Phases:   []sim.Phase{sim.Inference},
+	})
 	t := report.New("Fig 6: WS energy breakdown, CIFAR-10 (share of total)",
 		"network", "DRAM", "Buffer", "RRAM", "ADC", "DAC", "Digital")
-	for _, net := range []*nn.Network{nn.VGG16CIFAR(), nn.ResNet18CIFAR()} {
-		r := m.Simulate(net, sim.Inference)
-		t.AddRow(append([]any{net.Name}, shares(r)...)...)
+	for _, r := range reps {
+		t.AddRow(append([]any{r.Network}, shares(r)...)...)
 	}
 	return t.String()
 }
@@ -153,15 +181,19 @@ func Table2() string {
 	return t.String()
 }
 
-// comparison renders one phase's six-network comparison.
+// comparison renders one phase's six-network comparison, evaluated on
+// the sweep engine (both architectures across all six networks).
 func comparison(phase sim.Phase) *report.Table {
-	inca := core.New(arch.INCA())
-	base := baseline.New(arch.Baseline())
+	nets := nn.PaperModels()
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+		Networks: nets,
+		Phases:   []sim.Phase{phase},
+	})
 	t := report.New(fmt.Sprintf("INCA vs WS baseline, %s (batch 64)", phase),
 		"network", "energy ratio", "speedup", "perf/W (Fig 11)")
-	for _, net := range nn.PaperModels() {
-		a := inca.Simulate(net, phase)
-		b := base.Simulate(net, phase)
+	for i, net := range nets {
+		a, b := reps[i], reps[len(nets)+i]
 		e := a.Total.EnergyEfficiencyVs(b.Total)
 		s := a.Total.SpeedupVs(b.Total)
 		t.AddRow(net.Name, e, s, e*s)
@@ -177,9 +209,12 @@ func Fig11() string {
 
 // Fig12 renders the layerwise DRAM+buffer energy of VGG16.
 func Fig12() string {
-	net := nn.VGG16()
-	ir := core.New(arch.INCA()).Simulate(net, sim.Inference)
-	br := baseline.New(arch.Baseline()).Simulate(net, sim.Inference)
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+		Networks: []*nn.Network{nn.VGG16()},
+		Phases:   []sim.Phase{sim.Inference},
+	})
+	ir, br := reps[0], reps[1]
 	t := report.New("Fig 12: layerwise DRAM+buffer energy, VGG16 (J/batch)",
 		"layer", "WS", "INCA")
 	mem := func(lr sim.LayerResult) float64 {
@@ -197,17 +232,20 @@ func Fig12() string {
 // Fig13 renders the ADC energy comparison and INCA's breakdown.
 func Fig13() string {
 	net := nn.VGG16()
-	ir := core.New(arch.INCA()).Simulate(net, sim.Inference)
-	br := baseline.New(arch.Baseline()).Simulate(net, sim.Inference)
+	cfg := arch.INCA()
+	cfg.BatchSize = 1
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch(), sweep.ConfigArch(cfg)},
+		Networks: []*nn.Network{net},
+		Phases:   []sim.Phase{sim.Inference},
+	})
+	ir, br, r := reps[0], reps[1], reps[2]
 	ta := report.New("Fig 13a: ADC energy, VGG16 (J/batch)", "design", "ADC energy", "vs INCA")
 	ia := ir.Total.Energy.Of(metrics.ADC)
 	ba := br.Total.Energy.Of(metrics.ADC)
 	ta.AddRow("WS baseline", ba, ba/ia)
 	ta.AddRow("INCA", ia, 1.0)
 
-	cfg := arch.INCA()
-	cfg.BatchSize = 1
-	r := core.New(cfg).Simulate(net, sim.Inference)
 	tb := report.New("Fig 13b: INCA energy breakdown, VGG16 (share of total)",
 		"network", "DRAM", "Buffer", "RRAM", "ADC", "DAC", "Digital")
 	tb.AddRow(append([]any{net.Name}, shares(r)...)...)
@@ -228,14 +266,17 @@ func Table3() string {
 // Fig14 renders the speedup comparison for both phases.
 func Fig14() string {
 	out := ""
-	inca := core.New(arch.INCA())
-	base := baseline.New(arch.Baseline())
+	nets := nn.PaperModels()
 	for _, phase := range []sim.Phase{sim.Inference, sim.Training} {
+		reps := evalPlan(sweep.Plan{
+			Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+			Networks: nets,
+			Phases:   []sim.Phase{phase},
+		})
 		t := report.New(fmt.Sprintf("Fig 14: speedup, %s (batch 64)", phase),
 			"network", "WS latency (s)", "INCA latency (s)", "speedup")
-		for _, net := range nn.PaperModels() {
-			ir := inca.Simulate(net, phase)
-			br := base.Simulate(net, phase)
+		for i, net := range nets {
+			ir, br := reps[i], reps[len(nets)+i]
 			t.AddRow(net.Name, br.Total.Latency, ir.Total.Latency, ir.Total.SpeedupVs(br.Total))
 		}
 		out += t.String() + "\n"
@@ -245,14 +286,17 @@ func Fig14() string {
 
 // Fig15 renders the INCA-versus-GPU training comparison.
 func Fig15() string {
-	inca := core.New(arch.INCA())
-	g := gpu.New(gpu.TitanRTX())
+	nets := nn.PaperModels()
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.GPUArch()},
+		Networks: nets,
+		Phases:   []sim.Phase{sim.Training},
+	})
 	incaArea := arch.INCA().Area().Total()
 	t := report.New("Fig 15: INCA vs GPU, training (batch 64)",
 		"network", "energy ratio", "tput/area INCA", "tput/area GPU", "iso-area ratio")
-	for _, net := range nn.PaperModels() {
-		ir := inca.Simulate(net, sim.Training)
-		gr := g.Simulate(net, sim.Training)
+	for i, net := range nets {
+		ir, gr := reps[i], reps[len(nets)+i]
 		it := gpu.ThroughputPerArea(ir, incaArea)
 		gt := gpu.ThroughputPerArea(gr, gpu.TitanRTX().AreaMM2)
 		t.AddRow(net.Name, ir.Total.EnergyEfficiencyVs(gr.Total), it, gt, it/gt)
@@ -260,26 +304,46 @@ func Fig15() string {
 	return t.String()
 }
 
-// Fig16 renders the utilization sweep and per-network comparison.
+// Fig16 renders the utilization sweep and per-network comparison. The
+// array-size study uses the engine's override axis: one named transform
+// per subarray geometry.
 func Fig16() string {
+	sizes := []int{8, 16, 32, 64, 128}
+	var overrides []sweep.Override
+	for _, s := range sizes {
+		s := s
+		overrides = append(overrides, sweep.Override{
+			Name: fmt.Sprintf("array=%d", s),
+			Apply: func(cfg arch.Config) arch.Config {
+				cfg.SubarrayRows, cfg.SubarrayCols = s, s
+				return cfg
+			},
+		})
+	}
+	sweepReps := evalPlan(sweep.Plan{
+		Archs:     []sweep.Arch{sweep.INCAArch()},
+		Networks:  []*nn.Network{nn.VGG16()},
+		Phases:    []sim.Phase{sim.Inference},
+		Overrides: overrides,
+	})
 	fig := &report.Figure{Title: "Fig 16a: INCA utilization vs array size (VGG16)",
 		XLabel: "array size", YLabel: "utilization"}
 	var xs, ys []float64
-	for _, s := range []int{8, 16, 32, 64, 128} {
-		cfg := arch.INCA()
-		cfg.SubarrayRows, cfg.SubarrayCols = s, s
-		ys = append(ys, core.New(cfg).Simulate(nn.VGG16(), sim.Inference).Utilization())
+	for i, s := range sizes {
 		xs = append(xs, float64(s))
+		ys = append(ys, sweepReps[i].Utilization())
 	}
 	fig.Add("INCA", xs, ys)
 
+	nets := nn.PaperModels()
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+		Networks: nets,
+		Phases:   []sim.Phase{sim.Inference},
+	})
 	t := report.New("Fig 16b: utilization by network", "network", "INCA", "WS baseline")
-	inca := core.New(arch.INCA())
-	base := baseline.New(arch.Baseline())
-	for _, net := range nn.PaperModels() {
-		t.AddRow(net.Name,
-			inca.Simulate(net, sim.Inference).Utilization(),
-			base.Simulate(net, sim.Inference).Utilization())
+	for i, net := range nets {
+		t.AddRow(net.Name, reps[i].Utilization(), reps[len(nets)+i].Utilization())
 	}
 	return fig.String() + "\n" + t.String()
 }
@@ -318,11 +382,15 @@ func Table5() string {
 func ExtEndurance() string {
 	net := nn.ResNet18()
 	dev := arch.INCA().Device
+	reps := evalPlan(sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+		Networks: []*nn.Network{net},
+		Phases:   []sim.Phase{sim.Inference, sim.Training},
+	})
 	t := report.New("Extension: endurance on "+dev.Name+" (ResNet18, batch 64)",
 		"design", "phase", "writes/cell/batch", "batches to failure", "lifetime (years)")
-	for _, phase := range []sim.Phase{sim.Inference, sim.Training} {
-		ir := core.New(arch.INCA()).Simulate(net, phase)
-		br := baseline.New(arch.Baseline()).Simulate(net, phase)
+	for i, phase := range []sim.Phase{sim.Inference, sim.Training} {
+		ir, br := reps[i], reps[2+i]
 		ip := endure.Analyze("INCA", phase, dev, net, ir.Total.Latency)
 		bp := endure.Analyze("WS-Baseline", phase, dev, net, br.Total.Latency)
 		t.AddRow("INCA", phase.String(), ip.WritesPerCellPerBatch, ip.BatchesToFailure, ip.LifetimeYears())
@@ -335,12 +403,28 @@ func ExtEndurance() string {
 // energy and training lifetime with each device technology.
 func ExtDevices() string {
 	net := nn.ResNet18()
+	devs := endure.Candidates()
+	var overrides []sweep.Override
+	for _, dev := range devs {
+		dev := dev
+		overrides = append(overrides, sweep.Override{
+			Name: "device=" + dev.Name,
+			Apply: func(cfg arch.Config) arch.Config {
+				cfg.Device = dev
+				return cfg
+			},
+		})
+	}
+	reps := evalPlan(sweep.Plan{
+		Archs:     []sweep.Arch{sweep.INCAArch()},
+		Networks:  []*nn.Network{net},
+		Phases:    []sim.Phase{sim.Training},
+		Overrides: overrides,
+	})
 	t := report.New("Extension: INCA on alternative devices (ResNet18 training, batch 64)",
 		"device", "energy (J/batch)", "latency (s)", "lifetime (years)")
-	for _, dev := range endure.Candidates() {
-		cfg := arch.INCA()
-		cfg.Device = dev
-		r := core.New(cfg).Simulate(net, sim.Training)
+	for i, dev := range devs {
+		r := reps[i]
 		p := endure.Analyze("INCA", sim.Training, dev, net, r.Total.Latency)
 		t.AddRow(dev.Name, r.Total.Energy.Total(), r.Total.Latency, p.LifetimeYears())
 	}
@@ -350,13 +434,28 @@ func ExtDevices() string {
 // ExtBatchSweep renders INCA's per-image cost versus batch size — the 3D
 // plane amortization.
 func ExtBatchSweep() string {
-	net := nn.ResNet18()
+	batches := []int{1, 4, 16, 64}
+	var overrides []sweep.Override
+	for _, b := range batches {
+		b := b
+		overrides = append(overrides, sweep.Override{
+			Name: fmt.Sprintf("batch=%d", b),
+			Apply: func(cfg arch.Config) arch.Config {
+				cfg.BatchSize = b
+				return cfg
+			},
+		})
+	}
+	reps := evalPlan(sweep.Plan{
+		Archs:     []sweep.Arch{sweep.INCAArch()},
+		Networks:  []*nn.Network{nn.ResNet18()},
+		Phases:    []sim.Phase{sim.Training},
+		Overrides: overrides,
+	})
 	t := report.New("Extension: INCA batch sweep (ResNet18 training)",
 		"batch", "energy/image (J)", "latency/image (s)")
-	for _, b := range []int{1, 4, 16, 64} {
-		cfg := arch.INCA()
-		cfg.BatchSize = b
-		r := core.New(cfg).Simulate(net, sim.Training)
+	for i, b := range batches {
+		r := reps[i]
 		t.AddRow(b, r.Total.Energy.Total()/float64(b), r.Total.Latency/float64(b))
 	}
 	return t.String()

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Cache memoizes simulation reports by cell key with singleflight-style
+// deduplication: when several goroutines ask for the same key
+// concurrently, exactly one runs the simulation and the rest block until
+// its result lands. Successful reports are retained for the cache's
+// lifetime (they are a few KB each); failed evaluations are forgotten so
+// a later caller with, say, a live context can retry.
+//
+// A Cache is safe for concurrent use and may be shared across sweeps —
+// cmd/inca-experiments shares one cache across all experiments of a run,
+// so Fig. 11 and Fig. 14 evaluate their common cells once.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once rep/err are final
+	rep   *sim.Report
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[Key]*cacheEntry)}
+}
+
+// Do returns the memoized report for key, running eval at most once per
+// key across all concurrent callers. cached reports true when this call
+// did not run eval itself (either a stored result or another goroutine's
+// in-flight evaluation). Waiting callers unblock with ctx's error if
+// their context ends first.
+//
+// Callers must treat the returned report as immutable: cache hits alias
+// the same *sim.Report.
+func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error)) (rep *sim.Report, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.ready:
+			return e.rep, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.rep, e.err = eval()
+	if e.err != nil {
+		// Forget failures (cancellation, invalid config) so the key can
+		// be retried; waiters on this flight still observe the error.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.rep, false, e.err
+}
+
+// Hits reports how many Do calls were served without running eval.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses reports how many Do calls ran eval.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Len reports the number of stored results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

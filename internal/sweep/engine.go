@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Options tunes one engine run.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache memoizes cell results. nil gives the run a private cache;
+	// pass a shared one to deduplicate across sweeps.
+	Cache *Cache
+}
+
+func (o Options) workers(cells int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Result is one completed (or failed) cell evaluation.
+type Result struct {
+	Cell   Cell
+	Report *sim.Report // nil when Err != nil
+	// Cached reports that the cell was served by the memoization cache
+	// (or coalesced onto another goroutine's in-flight evaluation).
+	Cached bool
+	Err    error
+}
+
+// Stream expands the plan and launches the sweep, returning a channel on
+// which exactly one Result per cell arrives in completion order. The
+// channel closes once every cell has reported. Cancelling ctx stops new
+// evaluations; cells that never ran surface with Err set to ctx's error.
+// An invalid plan is reported synchronously and launches nothing.
+func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
+	cells, err := p.Cells()
+	if err != nil {
+		return nil, err
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	feed := make(chan Cell)
+	out := make(chan Result)
+	var wg sync.WaitGroup
+	for i := 0; i < opt.workers(len(cells)); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range feed {
+				out <- evaluate(ctx, cache, cell)
+			}
+		}()
+	}
+	go func() {
+		for _, cell := range cells {
+			feed <- cell
+		}
+		close(feed)
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// evaluate runs one cell through the cache, honoring cancellation at
+// cell granularity.
+func evaluate(ctx context.Context, cache *Cache, cell Cell) Result {
+	if err := ctx.Err(); err != nil {
+		return Result{Cell: cell, Err: err}
+	}
+	rep, cached, err := cache.Do(ctx, cell.Key(), func() (*sim.Report, error) {
+		s, err := cell.Arch.Build(cell.Config)
+		if err != nil {
+			return nil, err
+		}
+		return s.Simulate(ctx, cell.Network, cell.Phase)
+	})
+	return Result{Cell: cell, Report: rep, Cached: cached, Err: err}
+}
+
+// Run executes the plan and returns one Result per cell in deterministic
+// plan order (Cell.Seq), regardless of completion order. Per-cell
+// failures are reported in each Result's Err; Run's own error is
+// non-nil only for an invalid plan or an ended context (the returned
+// slice then still has one entry per cell, the unexecuted ones carrying
+// the context error).
+func Run(ctx context.Context, p Plan, opt Options) ([]Result, error) {
+	ch, err := Stream(ctx, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for r := range ch {
+		results = append(results, r)
+	}
+	// Completion order → plan order. Seq values are a permutation of
+	// 0..n-1, so a direct placement sort is linear and stable.
+	ordered := make([]Result, len(results))
+	for _, r := range results {
+		ordered[r.Cell.Seq] = r
+	}
+	return ordered, ctx.Err()
+}
+
+// Map runs f over items on at most workers goroutines (<= 0 means
+// GOMAXPROCS) and returns the outputs in item order. It is the engine's
+// fan-out primitive for work that is not a configuration sweep —
+// cmd/inca-experiments uses it to parallelize whole experiments. The
+// first error (including the context's, for items never started) is
+// returned alongside the partially-filled results.
+func Map[T, R any](ctx context.Context, workers int, items []T, f func(context.Context, T) (R, error)) ([]R, error) {
+	n := len(items)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]R, n)
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[j] = err
+					continue
+				}
+				results[j], errs[j] = f(ctx, items[j])
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		idx <- j
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

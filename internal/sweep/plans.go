@@ -1,0 +1,18 @@
+package sweep
+
+import (
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// PaperPlan returns the full evaluation cross product of the paper's
+// Figs. 11–16: {INCA, WS baseline, GPU} × the six ImageNet CNNs ×
+// {inference, training} — 36 cells. It is the reference workload for the
+// engine's benchmarks.
+func PaperPlan() Plan {
+	return Plan{
+		Archs:    []Arch{INCAArch(), BaselineArch(), GPUArch()},
+		Networks: nn.PaperModels(),
+		Phases:   []sim.Phase{sim.Inference, sim.Training},
+	}
+}

@@ -1,0 +1,185 @@
+// Package sweep is the concurrent evaluation engine behind the paper's
+// cross-product studies: {INCA, WS baseline, GPU} × networks × phases ×
+// configuration overrides. A declarative Plan expands into Cells, a
+// bounded worker pool fans the cells out, a keyed result cache memoizes
+// repeated (config, network, phase) cells with singleflight-style
+// deduplication, and results stream back as they complete — or are
+// collected in deterministic plan order.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/baseline"
+	"github.com/inca-arch/inca/internal/core"
+	"github.com/inca-arch/inca/internal/gpu"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Plan expansion errors.
+var (
+	ErrEmptyPlan   = errors.New("sweep: plan has no architectures, networks, or phases")
+	ErrNilBuild    = errors.New("sweep: architecture has no Build function")
+	ErrNilNetwork  = errors.New("sweep: plan contains a nil network")
+	ErrNilOverride = errors.New("sweep: override has no Apply function")
+)
+
+// Arch names one architecture axis of a sweep: a base configuration and
+// a builder that turns a (possibly overridden) configuration into a
+// simulator.
+type Arch struct {
+	Name string
+	// Base is the configuration overrides are applied to.
+	Base arch.Config
+	// Build constructs a simulator for one resolved configuration. It is
+	// called once per distinct cell key; the returned simulator must be
+	// safe for concurrent use.
+	Build func(arch.Config) (sim.Simulator, error)
+	// Fixed marks architectures whose model ignores Config (the GPU
+	// roofline): overrides do not fork new cells, so every override of a
+	// fixed arch shares one cache key.
+	Fixed bool
+}
+
+// INCAArch returns the paper's INCA accelerator as a sweep axis.
+func INCAArch() Arch {
+	cfg := arch.INCA()
+	return Arch{Name: cfg.Name, Base: cfg, Build: buildConfigured}
+}
+
+// BaselineArch returns the 2D WS baseline as a sweep axis.
+func BaselineArch() Arch {
+	cfg := arch.Baseline()
+	return Arch{Name: cfg.Name, Base: cfg, Build: buildConfigured}
+}
+
+// GPUArch returns the Titan RTX roofline model as a sweep axis.
+func GPUArch() Arch {
+	spec := gpu.TitanRTX()
+	return Arch{
+		Name:  spec.Name,
+		Fixed: true,
+		Build: func(arch.Config) (sim.Simulator, error) {
+			return sim.Wrap(gpu.New(spec)), nil
+		},
+	}
+}
+
+// ConfigArch wraps an explicit configuration (e.g. one loaded from JSON)
+// as a sweep axis, selecting the IS or WS model by its Dataflow field.
+func ConfigArch(cfg arch.Config) Arch {
+	return Arch{Name: cfg.Name, Base: cfg, Build: buildConfigured}
+}
+
+// buildConfigured selects the accelerator model by dataflow, validating
+// the configuration first (the legacy constructors panic on bad input).
+func buildConfigured(cfg arch.Config) (sim.Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Dataflow == arch.InputStationary {
+		return sim.Wrap(core.New(cfg)), nil
+	}
+	return sim.Wrap(baseline.New(cfg)), nil
+}
+
+// Override is one named configuration transform of the sweep's config
+// axis (e.g. "batch=16" setting BatchSize).
+type Override struct {
+	Name  string
+	Apply func(arch.Config) arch.Config
+}
+
+// Plan declares a sweep as the cross product of its axes. Overrides may
+// be empty, meaning every architecture runs its base configuration.
+type Plan struct {
+	Archs     []Arch
+	Networks  []*nn.Network
+	Phases    []sim.Phase
+	Overrides []Override
+}
+
+// Key identifies a memoizable cell. Two cells with equal keys produce
+// byte-identical reports, so the cache evaluates only one of them.
+type Key struct {
+	Arch    string
+	Config  string // arch.Config.Fingerprint(), or "fixed" for Fixed archs
+	Network string
+	Phase   sim.Phase
+}
+
+// String renders the key for logs and test failures.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s", k.Arch, k.Config, k.Network, k.Phase)
+}
+
+// Cell is one fully-resolved evaluation of the plan's cross product.
+type Cell struct {
+	// Seq is the cell's position in deterministic plan order
+	// (archs, outermost, then overrides, networks, phases).
+	Seq      int
+	Arch     Arch
+	Override string // name of the applied override, "" for the base config
+	Config   arch.Config
+	Network  *nn.Network
+	Phase    sim.Phase
+}
+
+// Key returns the cell's cache key.
+func (c Cell) Key() Key {
+	cfgID := "fixed"
+	if !c.Arch.Fixed {
+		cfgID = c.Config.Fingerprint()
+	}
+	return Key{Arch: c.Arch.Name, Config: cfgID, Network: c.Network.Name, Phase: c.Phase}
+}
+
+// Cells expands the plan into its deterministic cell sequence,
+// validating the axes. Fixed architectures ignore the override axis but
+// still produce one cell per override so result tables stay rectangular;
+// the cache collapses them to a single evaluation.
+func (p Plan) Cells() ([]Cell, error) {
+	if len(p.Archs) == 0 || len(p.Networks) == 0 || len(p.Phases) == 0 {
+		return nil, ErrEmptyPlan
+	}
+	overrides := p.Overrides
+	if len(overrides) == 0 {
+		overrides = []Override{{}}
+	}
+	var cells []Cell
+	for _, a := range p.Archs {
+		if a.Build == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNilBuild, a.Name)
+		}
+		for _, ov := range overrides {
+			cfg := a.Base
+			if ov.Name != "" || ov.Apply != nil {
+				if ov.Apply == nil {
+					return nil, fmt.Errorf("%w: %s", ErrNilOverride, ov.Name)
+				}
+				if !a.Fixed {
+					cfg = ov.Apply(cfg)
+				}
+			}
+			for _, net := range p.Networks {
+				if net == nil {
+					return nil, ErrNilNetwork
+				}
+				for _, ph := range p.Phases {
+					cells = append(cells, Cell{
+						Seq:      len(cells),
+						Arch:     a,
+						Override: ov.Name,
+						Config:   cfg,
+						Network:  net,
+						Phase:    ph,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
