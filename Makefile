@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench bench-sweep
 
 check: vet build race
 
@@ -19,6 +19,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
+# Tensor-kernel serial-vs-parallel baseline, recorded in the repo root.
 bench:
+	$(GO) run ./cmd/inca-bench -o BENCH_PR2.json
+
+# Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
+bench-sweep:
 	$(GO) test -bench PaperSweep -benchtime 10x -run xxx ./internal/sweep/

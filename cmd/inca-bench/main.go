@@ -1,0 +1,130 @@
+// Command inca-bench measures the tensor kernel hot path serial versus
+// parallel and records the result as a JSON baseline (BENCH_PR2.json in
+// the repo root). The kernels are shaped like the ResNet-50 mid-network
+// layers that dominate the training experiments' wall clock.
+//
+// Usage:
+//
+//	inca-bench                     # print the report to stdout
+//	inca-bench -o BENCH_PR2.json   # write the baseline file
+//	inca-bench -reps 5 -workers 8  # more repetitions, explicit budget
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// KernelResult is one kernel's serial-versus-parallel timing.
+type KernelResult struct {
+	Name       string  `json:"name"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Baseline is the file format of BENCH_PR2.json.
+type Baseline struct {
+	PR         int            `json:"pr"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	Reps       int            `json:"reps"`
+	Kernels    []KernelResult `json:"kernels"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inca-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the JSON baseline to this file (default: stdout only)")
+	reps := fs.Int("reps", 3, "repetitions per kernel; the fastest is kept")
+	workers := fs.Int("workers", 0, "parallel worker budget (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	b := runBenchmarks(*reps, *workers)
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-bench:", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	fmt.Fprintf(stdout, "%s", enc)
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "inca-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *out)
+	}
+	return 0
+}
+
+// runBenchmarks times each kernel at budget 1 and at the requested
+// worker budget, keeping the fastest of reps runs for each mode.
+func runBenchmarks(reps, workers int) Baseline {
+	rng := rand.New(rand.NewSource(1))
+	spec := tensor.ConvSpec{Stride: 1, Pad: 1}
+	// ResNet-50 conv3_x body shapes: 128 channels at 28×28, 3×3 kernels.
+	x := tensor.Randn(rng, 1, 128, 28, 28)
+	w := tensor.Randn(rng, 1, 128, 128, 3, 3)
+	dw := tensor.Randn(rng, 1, 128, 3, 3)
+	// MatMul shaped like the same conv lowered via im2col.
+	a := tensor.Randn(rng, 1, 128, 128*3*3)
+	bmat := tensor.Randn(rng, 1, 128*3*3, 28*28)
+	delta := tensor.Randn(rng, 1, 128, 28, 28)
+
+	kernels := []struct {
+		name string
+		f    func()
+	}{
+		{"Conv2D-128x28x28-k3", func() { tensor.Conv2D(x, w, spec) }},
+		{"DepthwiseConv2D-128x28x28-k3", func() { tensor.DepthwiseConv2D(x, dw, spec) }},
+		{"MatMul-128x1152x784", func() { tensor.MatMul(a, bmat) }},
+		{"ConvBackwardWeights-128x28x28", func() { tensor.ConvBackwardWeights(x, delta, spec, 3, 3) }},
+	}
+
+	b := Baseline{PR: 2, GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Reps: reps}
+	for _, k := range kernels {
+		serial := timeKernel(1, reps, k.f)
+		parallel := timeKernel(workers, reps, k.f)
+		b.Kernels = append(b.Kernels, KernelResult{
+			Name:       k.name,
+			SerialNs:   serial.Nanoseconds(),
+			ParallelNs: parallel.Nanoseconds(),
+			Speedup:    float64(serial) / float64(parallel),
+		})
+	}
+	return b
+}
+
+// timeKernel runs f under the given worker budget and returns the
+// fastest of reps timings.
+func timeKernel(budget, reps int, f func()) time.Duration {
+	prev := tensor.SetParallelism(budget)
+	defer tensor.SetParallelism(prev)
+	f() // warm up caches and the token pool
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestRunBenchmarksShape(t *testing.T) {
+	b := runBenchmarks(1, 2)
+	if b.PR != 2 || b.GOMAXPROCS != runtime.GOMAXPROCS(0) || b.Workers != 2 {
+		t.Fatalf("baseline header = %+v", b)
+	}
+	if len(b.Kernels) != 4 {
+		t.Fatalf("kernels = %d, want 4", len(b.Kernels))
+	}
+	for _, k := range b.Kernels {
+		if k.Name == "" || k.SerialNs <= 0 || k.ParallelNs <= 0 || k.Speedup <= 0 {
+			t.Fatalf("degenerate kernel result %+v", k)
+		}
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", path, "-reps", "1", "-workers", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	var fromStdout, fromFile Baseline
+	if err := json.Unmarshal(stdout.Bytes(), &fromStdout); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &fromFile); err != nil {
+		t.Fatalf("file is not valid JSON: %v", err)
+	}
+	if len(fromFile.Kernels) != len(fromStdout.Kernels) {
+		t.Fatal("file and stdout disagree")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -278,6 +278,17 @@ func RandnTensor(seed int64, stddev float64, dims ...int) *Tensor {
 	return tensor.Randn(rand.New(rand.NewSource(seed)), stddev, dims...)
 }
 
+// SetKernelParallelism caps the process-wide worker budget shared by all
+// tensor kernels (convolutions, matrix multiply, backward passes) and
+// batch evaluation, returning the previous setting (0 when the budget was
+// tracking GOMAXPROCS). n <= 0 restores GOMAXPROCS tracking. Results are
+// byte-identical at every budget; see SweepOptions.KernelParallelism for
+// combining kernel parallelism with the sweep engine's worker pool.
+func SetKernelParallelism(n int) int { return tensor.SetParallelism(n) }
+
+// KernelParallelism reports the current tensor-kernel worker budget.
+func KernelParallelism() int { return tensor.Parallelism() }
+
 // NewNoiseModel returns a device nonideality model of relative strength
 // sigma.
 //

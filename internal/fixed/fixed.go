@@ -23,10 +23,16 @@ type Quantizer struct {
 
 // NewQuantizer builds a quantizer for the given bit depth calibrated so
 // that maxAbs maps to the largest positive code. A zero maxAbs yields a
-// unit-scale quantizer.
+// unit-scale quantizer. A non-finite or negative maxAbs is rejected: it
+// means the calibration tensor was poisoned (NaN/Inf activations), and
+// silently treating it as unit scale would corrupt every quantized value
+// downstream (the Table I protocol quantizes to the tensor's own max-abs).
 func NewQuantizer(bits int, maxAbs float64) Quantizer {
 	if bits < 2 || bits > 31 {
 		panic(fmt.Sprintf("fixed: unsupported bit depth %d", bits))
+	}
+	if math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) || maxAbs < 0 {
+		panic(fmt.Sprintf("fixed: invalid calibration maxAbs %v (poisoned calibration tensor?)", maxAbs))
 	}
 	qmax := float64(int64(1)<<(bits-1) - 1)
 	scale := 1.0

@@ -11,10 +11,24 @@ func FuzzQuantizerRoundTrip(f *testing.F) {
 	f.Add(uint8(8), 1.0, 0.5)
 	f.Add(uint8(4), 2.0, -1.9)
 	f.Add(uint8(2), 0.1, 100.0)
+	// Poisoned-calibration seeds: NewQuantizer must reject these instead
+	// of silently building a unit-scale quantizer.
+	f.Add(uint8(8), math.NaN(), 0.5)
+	f.Add(uint8(8), math.Inf(1), 0.5)
+	f.Add(uint8(8), math.Inf(-1), 0.5)
 	f.Fuzz(func(t *testing.T, rawBits uint8, maxAbs, x float64) {
 		bits := 2 + int(rawBits)%10
-		if math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) || math.IsNaN(x) || math.IsInf(x, 0) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
 			t.Skip()
+		}
+		if math.IsNaN(maxAbs) || math.IsInf(maxAbs, 0) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewQuantizer(%d, %v) accepted a non-finite calibration", bits, maxAbs)
+				}
+			}()
+			NewQuantizer(bits, maxAbs)
+			return
 		}
 		maxAbs = math.Abs(maxAbs)
 		if maxAbs > 1e12 {

@@ -1,0 +1,27 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: NewQuantizer treated a NaN or ±Inf calibration maximum like
+// zero and silently built a unit-scale quantizer, so one poisoned
+// activation tensor corrupted every quantized value downstream instead of
+// failing loudly at the calibration site.
+func TestNewQuantizerRejectsNonFiniteCalibration(t *testing.T) {
+	for _, maxAbs := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuantizer(8, %v) did not panic", maxAbs)
+				}
+			}()
+			NewQuantizer(8, maxAbs)
+		}()
+	}
+	// Zero stays legal: an all-zero tensor quantizes at unit scale.
+	if q := NewQuantizer(8, 0); q.Scale != 1 {
+		t.Fatalf("zero maxAbs scale = %v, want 1", q.Scale)
+	}
+}

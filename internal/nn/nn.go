@@ -295,6 +295,13 @@ func (n *Network) Validate() error {
 		}
 		switch l.Kind {
 		case Conv, Depthwise, MaxPool, AvgPool:
+			if l.Stride < 1 {
+				return fmt.Errorf("layer %d (%s): stride %d must be at least 1", i, l.Name, l.Stride)
+			}
+			if l.KH < 1 || l.KW < 1 || l.KH > l.InH+2*l.Pad || l.KW > l.InW+2*l.Pad {
+				return fmt.Errorf("layer %d (%s): kernel %dx%d does not fit padded input %dx%d (input %dx%d, pad %d)",
+					i, l.Name, l.KH, l.KW, l.InH+2*l.Pad, l.InW+2*l.Pad, l.InH, l.InW, l.Pad)
+			}
 			wantH := (l.InH+2*l.Pad-l.KH)/l.Stride + 1
 			wantW := (l.InW+2*l.Pad-l.KW)/l.Stride + 1
 			if l.OutH != wantH || l.OutW != wantW {

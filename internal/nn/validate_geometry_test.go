@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyNet builds a one-conv network whose geometry the caller can break.
+func tinyNet(mut func(*Layer)) *Network {
+	l := Layer{
+		Name: "c1", Kind: Conv,
+		InC: 3, InH: 8, InW: 8,
+		OutC: 4, OutH: 8, OutW: 8,
+		KH: 3, KW: 3, Stride: 1, Pad: 1,
+	}
+	if mut != nil {
+		mut(&l)
+	}
+	return &Network{Name: "tiny", InputC: 3, InputH: 8, InputW: 8, Classes: 4, Layers: []Layer{l}}
+}
+
+// Regression: Validate accepted kernels larger than the padded input and
+// non-positive strides; the geometry check (OutH/OutW) then divided by
+// zero or blessed a nonsense negative-size output.
+func TestValidateRejectsImpossibleKernelGeometry(t *testing.T) {
+	if err := tinyNet(nil).Validate(); err != nil {
+		t.Fatalf("baseline net should validate, got %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Layer)
+		want string
+	}{
+		{"kernel taller than padded input", func(l *Layer) { l.KH = 11 }, "does not fit padded input"},
+		{"kernel wider than padded input", func(l *Layer) { l.KW = 11 }, "does not fit padded input"},
+		{"zero kernel", func(l *Layer) { l.KH, l.KW = 0, 0 }, "does not fit padded input"},
+		{"zero stride", func(l *Layer) { l.Stride = 0 }, "stride 0 must be at least 1"},
+		{"negative stride", func(l *Layer) { l.Stride = -2 }, "stride -2 must be at least 1"},
+	} {
+		err := tinyNet(tc.mut).Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the layer", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// A kernel that exactly fills the padded input is legal.
+	exact := tinyNet(func(l *Layer) { l.KH, l.KW = 10, 10; l.OutH, l.OutW = 1, 1 })
+	if err := exact.Validate(); err != nil {
+		t.Fatalf("exact-fit kernel should validate, got %v", err)
+	}
+}

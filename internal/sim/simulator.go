@@ -21,6 +21,11 @@ var (
 	// ErrZeroBatch reports a report whose batch size is not positive, so
 	// per-image quantities are undefined.
 	ErrZeroBatch = errors.New("sim: report batch size is not positive")
+	// ErrSimulatorPanic reports a legacy Machine that panicked
+	// mid-simulation; Wrap converts the panic into this error so one bad
+	// cell cannot kill a whole sweep's worker pool. The panic value is in
+	// the wrapping error's message.
+	ErrSimulatorPanic = errors.New("sim: simulator panicked")
 )
 
 // Simulator is the v2 execution interface: context-aware and
@@ -43,7 +48,7 @@ func Wrap(m Machine) Simulator { return wrapped{m} }
 
 type wrapped struct{ m Machine }
 
-func (w wrapped) Simulate(ctx context.Context, net *nn.Network, phase Phase) (*Report, error) {
+func (w wrapped) Simulate(ctx context.Context, net *nn.Network, phase Phase) (rep *Report, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -56,5 +61,13 @@ func (w wrapped) Simulate(ctx context.Context, net *nn.Network, phase Phase) (*R
 	if phase != Inference && phase != Training {
 		return nil, fmt.Errorf("sim: unknown phase %d", int(phase))
 	}
+	// Legacy machines panic on inputs they cannot simulate (bad layer
+	// geometry, unsupported shapes). Surface that as a per-call error
+	// instead of letting it unwind a sweep worker goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("%w: %s/%s: %v", ErrSimulatorPanic, net.Name, phase, r)
+		}
+	}()
 	return w.m.Simulate(net, phase), nil
 }

@@ -22,8 +22,9 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*cacheEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	expired atomic.Int64
 }
 
 type cacheEntry struct {
@@ -41,7 +42,12 @@ func NewCache() *Cache {
 // key across all concurrent callers. cached reports true when this call
 // did not run eval itself (either a stored result or another goroutine's
 // in-flight evaluation). Waiting callers unblock with ctx's error if
-// their context ends first.
+// their context ends first; such a call received nothing from the cache,
+// so it reports cached=false and counts as neither hit nor miss — it is
+// tallied by Expired instead (the flight it abandoned may still land for
+// future callers). Hits() therefore counts only calls that actually
+// received a result without running eval, and Misses() only calls that
+// ran eval.
 //
 // Callers must treat the returned report as immutable: cache hits alias
 // the same *sim.Report.
@@ -49,12 +55,21 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
-		c.hits.Add(1)
+		// Prefer a result that is already final over a raced Done — a
+		// completed flight should never be reported as an expired wait.
 		select {
 		case <-e.ready:
+			c.hits.Add(1)
+			return e.rep, true, e.err
+		default:
+		}
+		select {
+		case <-e.ready:
+			c.hits.Add(1)
 			return e.rep, true, e.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			c.expired.Add(1)
+			return nil, false, ctx.Err()
 		}
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
@@ -74,11 +89,16 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 	return e.rep, false, e.err
 }
 
-// Hits reports how many Do calls were served without running eval.
+// Hits reports how many Do calls received a result without running eval.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
 
 // Misses reports how many Do calls ran eval.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Expired reports how many Do calls waited on another caller's in-flight
+// evaluation but saw their own context end first. Such calls received no
+// report and are counted as neither hits nor misses.
+func (c *Cache) Expired() int64 { return c.expired.Load() }
 
 // Len reports the number of stored results.
 func (c *Cache) Len() int {

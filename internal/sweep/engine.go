@@ -2,10 +2,12 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
 	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/tensor"
 )
 
 // Options tunes one engine run.
@@ -15,6 +17,14 @@ type Options struct {
 	// Cache memoizes cell results. nil gives the run a private cache;
 	// pass a shared one to deduplicate across sweeps.
 	Cache *Cache
+	// KernelParallelism, when > 0, installs that tensor-kernel worker
+	// budget (tensor.SetParallelism) while the run drains and restores
+	// the previous budget afterwards — the handoff that keeps cells'
+	// nested kernel parallelism from oversubscribing the sweep's own
+	// worker pool (with W workers on P procs, max(1, P/W) keeps total
+	// concurrency near P). The budget is process-wide: when several runs
+	// overlap, set it once at startup instead of per run.
+	KernelParallelism int
 }
 
 func (o Options) workers(cells int) int {
@@ -56,6 +66,12 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 		cache = NewCache()
 	}
 
+	restoreKernels := func() {}
+	if opt.KernelParallelism > 0 {
+		prev := tensor.SetParallelism(opt.KernelParallelism)
+		restoreKernels = func() { tensor.SetParallelism(prev) }
+	}
+
 	feed := make(chan Cell)
 	out := make(chan Result)
 	var wg sync.WaitGroup
@@ -74,6 +90,7 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 		}
 		close(feed)
 		wg.Wait()
+		restoreKernels()
 		close(out)
 	}()
 	return out, nil
@@ -98,9 +115,11 @@ func evaluate(ctx context.Context, cache *Cache, cell Cell) Result {
 // Run executes the plan and returns one Result per cell in deterministic
 // plan order (Cell.Seq), regardless of completion order. Per-cell
 // failures are reported in each Result's Err; Run's own error is
-// non-nil only for an invalid plan or an ended context (the returned
-// slice then still has one entry per cell, the unexecuted ones carrying
-// the context error).
+// non-nil only for an invalid plan, or for an ended context that actually
+// cost the run some cells (the returned slice then still has one entry
+// per cell, the unexecuted ones carrying the context error). A context
+// that ends only after every cell completed does not invalidate the
+// results, so Run reports nil.
 func Run(ctx context.Context, p Plan, opt Options) ([]Result, error) {
 	ch, err := Stream(ctx, p, opt)
 	if err != nil {
@@ -116,7 +135,14 @@ func Run(ctx context.Context, p Plan, opt Options) ([]Result, error) {
 	for _, r := range results {
 		ordered[r.Cell.Seq] = r
 	}
-	return ordered, ctx.Err()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		for _, r := range ordered {
+			if r.Err != nil && errors.Is(r.Err, ctxErr) {
+				return ordered, ctxErr
+			}
+		}
+	}
+	return ordered, nil
 }
 
 // Map runs f over items on at most workers goroutines (<= 0 means

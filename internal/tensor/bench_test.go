@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// benchKernels runs the ResNet-50-shaped hot-path kernels once.
+func benchSetup() (x, w, a, b *Tensor, spec ConvSpec) {
+	rng := rand.New(rand.NewSource(1))
+	spec = ConvSpec{Stride: 1, Pad: 1}
+	x = Randn(rng, 1, 64, 28, 28)
+	w = Randn(rng, 1, 64, 64, 3, 3)
+	a = Randn(rng, 1, 64, 64*3*3)
+	b = Randn(rng, 1, 64*3*3, 28*28)
+	return
+}
+
+func benchAtBudget(bm *testing.B, budget int, f func()) {
+	prev := SetParallelism(budget)
+	defer SetParallelism(prev)
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		f()
+	}
+}
+
+func BenchmarkConv2DSerial(bm *testing.B) {
+	x, w, _, _, spec := benchSetup()
+	benchAtBudget(bm, 1, func() { Conv2D(x, w, spec) })
+}
+
+func BenchmarkConv2DParallel(bm *testing.B) {
+	x, w, _, _, spec := benchSetup()
+	benchAtBudget(bm, runtime.GOMAXPROCS(0), func() { Conv2D(x, w, spec) })
+}
+
+func BenchmarkMatMulSerial(bm *testing.B) {
+	_, _, a, b, _ := benchSetup()
+	benchAtBudget(bm, 1, func() { MatMul(a, b) })
+}
+
+func BenchmarkMatMulParallel(bm *testing.B) {
+	_, _, a, b, _ := benchSetup()
+	benchAtBudget(bm, runtime.GOMAXPROCS(0), func() { MatMul(a, b) })
+}

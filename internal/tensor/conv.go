@@ -23,6 +23,22 @@ func (s ConvSpec) validate() {
 	}
 }
 
+// checkKernel panics with a clear geometry message when the kernel cannot
+// produce a positive output size: a degenerate kernel, or one larger than
+// the padded input. Without this check OutSize yields a zero or negative
+// dimension and the caller fails later with a confusing index panic (or
+// silently returns an empty tensor).
+func (s ConvSpec) checkKernel(op string, h, w, kh, kw int) {
+	if kh < 1 || kw < 1 {
+		panic(fmt.Sprintf("tensor: %s kernel %dx%d must be at least 1x1", op, kh, kw))
+	}
+	if kh > h+2*s.Pad || kw > w+2*s.Pad {
+		panic(fmt.Sprintf(
+			"tensor: %s kernel %dx%d larger than padded input %dx%d (input %dx%d, pad %d)",
+			op, kh, kw, h+2*s.Pad, w+2*s.Pad, h, w, s.Pad))
+	}
+}
+
 // Conv2D computes a direct 2D convolution (really cross-correlation, as in
 // deep learning frameworks) of a single image.
 //
@@ -41,36 +57,41 @@ func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 	if wc != c {
 		panic(fmt.Sprintf("tensor: Conv2D channel mismatch: x has %d, w has %d", c, wc))
 	}
+	spec.checkKernel("Conv2D", h, wd, kh, kw)
 	oh, ow := spec.OutSize(h, kh), spec.OutSize(wd, kw)
 	out := New(n, oh, ow)
 	xd, wdat, od := x.data, w.data, out.data
-	for on := 0; on < n; on++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				sum := 0.0
-				iy0 := oy*spec.Stride - spec.Pad
-				ix0 := ox*spec.Stride - spec.Pad
-				for ic := 0; ic < c; ic++ {
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						xrow := (ic*h + iy) * wd
-						wrow := ((on*c+ic)*kh + ky) * kw
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= wd {
+	// Output channels are independent, so they parallelize without
+	// changing any per-element reduction order.
+	parallelFor(n, 2*int64(oh)*int64(ow)*int64(c)*int64(kh)*int64(kw), func(lo, hi int) {
+		for on := lo; on < hi; on++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := 0.0
+					iy0 := oy*spec.Stride - spec.Pad
+					ix0 := ox*spec.Stride - spec.Pad
+					for ic := 0; ic < c; ic++ {
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
 								continue
 							}
-							sum += xd[xrow+ix] * wdat[wrow+kx]
+							xrow := (ic*h + iy) * wd
+							wrow := ((on*c+ic)*kh + ky) * kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								sum += xd[xrow+ix] * wdat[wrow+kx]
+							}
 						}
 					}
+					od[(on*oh+oy)*ow+ox] = sum
 				}
-				od[(on*oh+oy)*ow+ox] = sum
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -92,29 +113,34 @@ func DepthwiseConv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 		panic(fmt.Sprintf("tensor: DepthwiseConv2D channel mismatch: x has %d, w has %d", c, w.Dim(0)))
 	}
 	kh, kw := w.Dim(1), w.Dim(2)
+	spec.checkKernel("DepthwiseConv2D", h, wd, kh, kw)
 	oh, ow := spec.OutSize(h, kh), spec.OutSize(wd, kw)
 	out := New(c, oh, ow)
-	for ic := 0; ic < c; ic++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				sum := 0.0
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*spec.Stride - spec.Pad + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*spec.Stride - spec.Pad + kx
-						if ix < 0 || ix >= wd {
+	// Channels never interact in a depthwise convolution, so they are the
+	// natural parallel axis.
+	parallelFor(c, 2*int64(oh)*int64(ow)*int64(kh)*int64(kw), func(lo, hi int) {
+		for ic := lo; ic < hi; ic++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := 0.0
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*spec.Stride - spec.Pad + ky
+						if iy < 0 || iy >= h {
 							continue
 						}
-						sum += x.data[(ic*h+iy)*wd+ix] * w.data[(ic*kh+ky)*kw+kx]
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*spec.Stride - spec.Pad + kx
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							sum += x.data[(ic*h+iy)*wd+ix] * w.data[(ic*kh+ky)*kw+kx]
+						}
 					}
+					out.data[(ic*oh+oy)*ow+ox] = sum
 				}
-				out.data[(ic*oh+oy)*ow+ox] = sum
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -129,30 +155,45 @@ func Im2Col(x *Tensor, kh, kw int, spec ConvSpec) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col wants rank-3 x, got %v", x.Dims()))
 	}
 	c, h, wd := x.Dim(0), x.Dim(1), x.Dim(2)
+	spec.checkKernel("Im2Col", h, wd, kh, kw)
 	oh, ow := spec.OutSize(h, kh), spec.OutSize(wd, kw)
 	out := New(c*kh*kw, oh*ow)
-	for ic := 0; ic < c; ic++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := (ic*kh+ky)*kw + kx
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*spec.Stride - spec.Pad + ky
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*spec.Stride - spec.Pad + kx
-						v := 0.0
-						if iy >= 0 && iy < h && ix >= 0 && ix < wd {
-							v = x.data[(ic*h+iy)*wd+ix]
+	// Each input channel fills its own kh*kw output rows: pure disjoint
+	// copies, parallel over channels.
+	parallelFor(c, int64(kh)*int64(kw)*int64(oh)*int64(ow), func(lo, hi int) {
+		for ic := lo; ic < hi; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := (ic*kh+ky)*kw + kx
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*spec.Stride - spec.Pad + ky
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*spec.Stride - spec.Pad + kx
+							v := 0.0
+							if iy >= 0 && iy < h && ix >= 0 && ix < wd {
+								v = x.data[(ic*h+iy)*wd+ix]
+							}
+							out.data[row*(oh*ow)+oy*ow+ox] = v
 						}
-						out.data[row*(oh*ow)+oy*ow+ox] = v
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
+// matMulBlock is the column-tile width of the blocked MatMul: 512 float64
+// values keep one b-stripe (and the matching output stripe) resident in
+// L1 while the k loop streams over it.
+const matMulBlock = 512
+
 // MatMul returns a×b for 2-D tensors a [M,K] and b [K,N].
+//
+// The kernel is cache-blocked over columns of b and parallel over rows of
+// a. Each output element still accumulates its k products in ascending
+// order on a single goroutine, so the result is byte-identical to the
+// naive triple loop at any parallelism budget.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul wants rank-2 tensors, got %v and %v", a.Dims(), b.Dims()))
@@ -163,20 +204,25 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch: %d vs %d", k, k2))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	parallelFor(m, 2*int64(k)*int64(n), func(lo, hi int) {
+		for jb := 0; jb < n; jb += matMulBlock {
+			je := min(jb+matMulBlock, n)
+			for i := lo; i < hi; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				orow := out.data[i*n+jb : i*n+je]
+				for p := 0; p < k; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[p*n+jb : p*n+je]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -101,29 +101,32 @@ func ConvBackwardWeights(x, delta *Tensor, spec ConvSpec, kh, kw int) *Tensor {
 	xp := Pad(x, spec.Pad)
 	dw := New(n, c, kh, kw)
 	ph, pw := xp.Dim(1), xp.Dim(2)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			for ky := 0; ky < kh; ky++ {
-				for kx := 0; kx < kw; kx++ {
-					sum := 0.0
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*spec.Stride + ky
-						if iy >= ph {
-							continue
-						}
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*spec.Stride + kx
-							if ix >= pw {
+	// Each output-gradient channel owns a disjoint [c, kh, kw] slab of dw.
+	parallelFor(n, 2*int64(c)*int64(kh)*int64(kw)*int64(oh)*int64(ow), func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						sum := 0.0
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*spec.Stride + ky
+							if iy >= ph {
 								continue
 							}
-							sum += xp.data[(ic*ph+iy)*pw+ix] * delta.data[(in*oh+oy)*ow+ox]
+							for ox := 0; ox < ow; ox++ {
+								ix := ox*spec.Stride + kx
+								if ix >= pw {
+									continue
+								}
+								sum += xp.data[(ic*ph+iy)*pw+ix] * delta.data[(in*oh+oy)*ow+ox]
+							}
 						}
+						dw.data[((in*c+ic)*kh+ky)*kw+kx] = sum
 					}
-					dw.data[((in*c+ic)*kh+ky)*kw+kx] = sum
 				}
 			}
 		}
-	}
+	})
 	return dw
 }
 
@@ -133,29 +136,32 @@ func DepthwiseBackwardInput(w, delta *Tensor, spec ConvSpec, inH, inW int) *Tens
 	c, kh, kw := w.Dim(0), w.Dim(1), w.Dim(2)
 	dx := New(c, inH, inW)
 	oh, ow := delta.Dim(1), delta.Dim(2)
-	for ic := 0; ic < c; ic++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				g := delta.data[(ic*oh+oy)*ow+ox]
-				if g == 0 {
-					continue
-				}
-				for ky := 0; ky < kh; ky++ {
-					iy := oy*spec.Stride - spec.Pad + ky
-					if iy < 0 || iy >= inH {
+	// Depthwise gradients scatter within a single channel's dx plane only.
+	parallelFor(c, 2*int64(oh)*int64(ow)*int64(kh)*int64(kw), func(lo, hi int) {
+		for ic := lo; ic < hi; ic++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := delta.data[(ic*oh+oy)*ow+ox]
+					if g == 0 {
 						continue
 					}
-					for kx := 0; kx < kw; kx++ {
-						ix := ox*spec.Stride - spec.Pad + kx
-						if ix < 0 || ix >= inW {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*spec.Stride - spec.Pad + ky
+						if iy < 0 || iy >= inH {
 							continue
 						}
-						dx.data[(ic*inH+iy)*inW+ix] += g * w.data[(ic*kh+ky)*kw+kx]
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*spec.Stride - spec.Pad + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							dx.data[(ic*inH+iy)*inW+ix] += g * w.data[(ic*kh+ky)*kw+kx]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 
@@ -164,26 +170,28 @@ func DepthwiseBackwardWeights(x, delta *Tensor, spec ConvSpec, kh, kw int) *Tens
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := delta.Dim(1), delta.Dim(2)
 	dw := New(c, kh, kw)
-	for ic := 0; ic < c; ic++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				sum := 0.0
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*spec.Stride - spec.Pad + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*spec.Stride - spec.Pad + kx
-						if ix < 0 || ix >= w {
+	parallelFor(c, 2*int64(kh)*int64(kw)*int64(oh)*int64(ow), func(lo, hi int) {
+		for ic := lo; ic < hi; ic++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					sum := 0.0
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*spec.Stride - spec.Pad + ky
+						if iy < 0 || iy >= h {
 							continue
 						}
-						sum += x.data[(ic*h+iy)*w+ix] * delta.data[(ic*oh+oy)*ow+ox]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*spec.Stride - spec.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += x.data[(ic*h+iy)*w+ix] * delta.data[(ic*oh+oy)*ow+ox]
+						}
 					}
+					dw.data[(ic*kh+ky)*kw+kx] = sum
 				}
-				dw.data[(ic*kh+ky)*kw+kx] = sum
 			}
 		}
-	}
+	})
 	return dw
 }

@@ -1,0 +1,152 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/data"
+	"github.com/inca-arch/inca/internal/rram"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+func smallDataset() *data.Dataset {
+	cfg := data.DefaultConfig()
+	cfg.PerClass = 4
+	return data.Generate(cfg)
+}
+
+func datasetImages(ds *data.Dataset) []*tensor.Tensor {
+	xs := make([]*tensor.Tensor, len(ds.Samples))
+	for i, s := range ds.Samples {
+		xs[i] = s.Image
+	}
+	return xs
+}
+
+func tensorsBitEqual(a, b *tensor.Tensor) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i, v := range a.Data() {
+		if math.Float64bits(v) != math.Float64bits(b.Data()[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardBatch must match per-image Forward calls bit for bit at every
+// worker budget, including quantized evaluation (a deterministic hook).
+func TestForwardBatchMatchesSerialBitwise(t *testing.T) {
+	ds := smallDataset()
+	xs := datasetImages(ds)
+	for _, quant := range []*QuantSpec{nil, {WeightBits: 6, ActivationBits: 6}} {
+		net := SmallCNN(rand.New(rand.NewSource(7)), 1, ds.H, ds.W, ds.Classes)
+		net.Quant = quant
+		want := make([]*tensor.Tensor, len(xs))
+		prev := tensor.SetParallelism(1)
+		for i, x := range xs {
+			want[i] = net.Forward(x)
+		}
+		tensor.SetParallelism(prev)
+		for _, budget := range []int{1, runtime.GOMAXPROCS(0), len(xs) + 3} {
+			prev := tensor.SetParallelism(budget)
+			got := net.ForwardBatch(xs)
+			tensor.SetParallelism(prev)
+			for i := range got {
+				if !tensorsBitEqual(got[i], want[i]) {
+					t.Fatalf("quant=%v budget=%d: image %d differs from serial Forward", quant, budget, i)
+				}
+			}
+		}
+	}
+}
+
+// Networks with noise hooks draw from a shared sequential RNG whose
+// stream order is part of the experiment; ForwardBatch must take the
+// serial path and reproduce a plain Forward loop exactly.
+func TestForwardBatchNoiseHookStaysSerial(t *testing.T) {
+	ds := smallDataset()
+	xs := datasetImages(ds)
+	build := func() *Network {
+		net := SmallCNN(rand.New(rand.NewSource(7)), 1, ds.H, ds.W, ds.Classes)
+		net.ActNoise = rram.NewNoiseModel(0.05, 99)
+		return net
+	}
+	serialNet := build()
+	if serialNet.deterministicEval() {
+		t.Fatal("noise-hooked network must not claim deterministic evaluation")
+	}
+	want := make([]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		want[i] = serialNet.Forward(x)
+	}
+	batchNet := build() // fresh noise model, identical seed → same stream
+	prev := tensor.SetParallelism(runtime.GOMAXPROCS(0) + 4)
+	got := batchNet.ForwardBatch(xs)
+	tensor.SetParallelism(prev)
+	for i := range got {
+		if !tensorsBitEqual(got[i], want[i]) {
+			t.Fatalf("image %d: noise-hooked ForwardBatch diverged from the serial RNG stream", i)
+		}
+	}
+	// Weight read noise likewise forces the serial path.
+	readNet := SmallCNN(rand.New(rand.NewSource(7)), 1, ds.H, ds.W, ds.Classes)
+	readNet.SetWeightReadNoise(rram.NewNoiseModel(0.05, 99))
+	if readNet.deterministicEval() {
+		t.Fatal("read-noise network must not claim deterministic evaluation")
+	}
+}
+
+// Accuracy is defined on top of ForwardBatch; it must agree with a
+// hand-rolled serial argmax loop.
+func TestAccuracyMatchesSerialLoop(t *testing.T) {
+	ds := smallDataset()
+	net := SmallCNN(rand.New(rand.NewSource(7)), 1, ds.H, ds.W, ds.Classes)
+	correct := 0
+	prevBudget := tensor.SetParallelism(1)
+	for _, s := range ds.Samples {
+		out := net.Forward(s.Image)
+		best, bestV := 0, math.Inf(-1)
+		for j, v := range out.Data() {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	tensor.SetParallelism(prevBudget)
+	want := 100 * float64(correct) / float64(len(ds.Samples))
+	prev := tensor.SetParallelism(runtime.GOMAXPROCS(0))
+	got := Accuracy(net, ds)
+	tensor.SetParallelism(prev)
+	if got != want {
+		t.Fatalf("Accuracy = %v, serial loop gives %v", got, want)
+	}
+}
+
+// evalReplica must not share mutable forward-pass state with the parent.
+func TestEvalReplicaIsolation(t *testing.T) {
+	ds := smallDataset()
+	net := SmallCNN(rand.New(rand.NewSource(7)), 1, ds.H, ds.W, ds.Classes)
+	net.Quant = &QuantSpec{ActivationBits: 5}
+	r := net.evalReplica()
+	if r == net {
+		t.Fatal("replica aliases the parent")
+	}
+	if r.Quant == net.Quant {
+		t.Fatal("replica shares the parent's QuantSpec pointer")
+	}
+	if *r.Quant != *net.Quant {
+		t.Fatal("replica dropped the quantization hook")
+	}
+	a := net.Forward(ds.Samples[0].Image)
+	b := r.Forward(ds.Samples[0].Image)
+	if !tensorsBitEqual(a, b) {
+		t.Fatal("replica forward pass differs from parent")
+	}
+}

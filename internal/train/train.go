@@ -253,6 +253,77 @@ func isFC(l Layer) bool {
 	return ok
 }
 
+// ForwardBatch runs one independent forward pass per image and returns
+// the outputs in input order. When the network carries no stochastic
+// hooks, the images are spread over replicas of the network on workers
+// drawn from the shared tensor kernel budget (tensor.SetParallelism), so
+// batch evaluation and the kernels it calls never oversubscribe the
+// machine; outputs are byte-identical to serial Forward calls. Networks
+// with noise hooks draw from a shared sequential RNG whose stream order
+// is part of the experiment's determinism, so they evaluate serially.
+func (n *Network) ForwardBatch(xs []*tensor.Tensor) []*tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(xs))
+	if len(xs) == 0 {
+		return outs
+	}
+	if !n.deterministicEval() {
+		for i, x := range xs {
+			outs[i] = n.Forward(x)
+		}
+		return outs
+	}
+	tensor.ParallelChunks(len(xs), func(chunk, lo, hi int) {
+		replica := n
+		if chunk > 0 {
+			// Layers cache their inputs during Forward, so concurrent
+			// chunks need private layer stacks. Weights are shared
+			// read-only state and are deep-copied by Clone.
+			replica = n.evalReplica()
+		}
+		for i := lo; i < hi; i++ {
+			outs[i] = replica.Forward(xs[i])
+		}
+	})
+	return outs
+}
+
+// deterministicEval reports whether a forward pass is a pure function of
+// the weights and input: no noise hooks anywhere (quantization is
+// per-image deterministic and therefore fine) and only layer types Clone
+// knows how to replicate.
+func (n *Network) deterministicEval() bool {
+	if n.ActNoise != nil {
+		return false
+	}
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv:
+			if t.readNoise != nil {
+				return false
+			}
+		case *FC:
+			if t.readNoise != nil {
+				return false
+			}
+		case *ReLU, *MaxPool:
+		default:
+			return false // unknown layer: cannot safely replicate
+		}
+	}
+	return true
+}
+
+// evalReplica clones the network for one evaluation worker, carrying over
+// the deterministic evaluation hooks Clone drops.
+func (n *Network) evalReplica() *Network {
+	r := n.Clone()
+	if n.Quant != nil {
+		q := *n.Quant
+		r.Quant = &q
+	}
+	return r
+}
+
 // Backward propagates the loss gradient through all layers (Eq. 3).
 func (n *Network) Backward(delta *tensor.Tensor) {
 	for i := len(n.Layers) - 1; i >= 0; i-- {

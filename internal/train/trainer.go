@@ -115,18 +115,23 @@ func sanitize(delta *tensor.Tensor) {
 	}
 }
 
-// Accuracy evaluates top-1 accuracy (percent) on a dataset.
+// Accuracy evaluates top-1 accuracy (percent) on a dataset. Evaluation is
+// batch-parallel for hook-free networks (see Network.ForwardBatch); the
+// result is identical to a serial pass in either mode.
 func Accuracy(net *Network, ds *data.Dataset) float64 {
+	xs := make([]*tensor.Tensor, len(ds.Samples))
+	for i, s := range ds.Samples {
+		xs[i] = s.Image
+	}
 	correct := 0
-	for _, s := range ds.Samples {
-		out := net.Forward(s.Image)
+	for i, out := range net.ForwardBatch(xs) {
 		best, bestV := 0, math.Inf(-1)
-		for i, v := range out.Data() {
+		for j, v := range out.Data() {
 			if v > bestV {
-				best, bestV = i, v
+				best, bestV = j, v
 			}
 		}
-		if best == s.Label {
+		if best == ds.Samples[i].Label {
 			correct++
 		}
 	}
