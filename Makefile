@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-sweep
+.PHONY: check build test vet race bench bench-sweep serve-smoke
 
 check: vet build race
 
@@ -26,3 +26,9 @@ bench:
 # Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
 bench-sweep:
 	$(GO) test -bench PaperSweep -benchtime 10x -run xxx ./internal/sweep/
+
+# End-to-end smoke of the HTTP service: boot inca-serve, probe /healthz,
+# evaluate one simulate cell twice (responses must be byte-identical),
+# then SIGTERM and require a clean drained exit.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh

@@ -11,6 +11,7 @@ package inca
 // paper-versus-measured values.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,7 +34,11 @@ func benchSuite(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		printOnce(i, exp.Run())
+		out, err := exp.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, out)
 	}
 }
 

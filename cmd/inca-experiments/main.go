@@ -18,17 +18,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C / SIGTERM cancels the sweep engine cleanly: in-flight cells
+	// finish, unexecuted ones report the context error, and the command
+	// exits through its normal error path instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("inca-experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fast := fs.Bool("fast", false, "skip experiments that train networks (Table I, Table VI)")
@@ -70,7 +77,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -80,8 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Render every experiment on the engine's fan-out primitive, then
 	// print in selection order so -jobs never changes the output.
 	outputs, err := sweep.Map(ctx, *jobs, selected,
-		func(_ context.Context, e suite.Experiment) (string, error) {
-			return e.Run(), nil
+		func(ctx context.Context, e suite.Experiment) (string, error) {
+			return e.Run(ctx)
 		})
 	for i, e := range selected {
 		if i < len(outputs) && outputs[i] != "" {

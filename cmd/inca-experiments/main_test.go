@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -9,7 +10,7 @@ import (
 
 func TestListExperiments(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	for _, want := range []string{"fig11", "table5", "ext-endurance", "(heavy)"} {
@@ -21,7 +22,7 @@ func TestListExperiments(t *testing.T) {
 
 func TestRunSelectedExperiments(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-only", "table5, fig7b"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-only", "table5, fig7b"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "Table V") || !strings.Contains(out.String(), "Fig 7b") {
@@ -31,7 +32,7 @@ func TestRunSelectedExperiments(t *testing.T) {
 
 func TestUnknownExperimentFails(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-only", "nope"}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-only", "nope"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
 	if !strings.Contains(errOut.String(), "unknown experiment") {
@@ -41,7 +42,7 @@ func TestUnknownExperimentFails(t *testing.T) {
 
 func TestBadFlagFails(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
 }
@@ -55,7 +56,7 @@ func TestGoldenFastOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-fast"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-fast"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
 	}
 	if out.String() != string(want) {
@@ -68,10 +69,10 @@ func TestGoldenFastOutput(t *testing.T) {
 func TestParallelOutputIdentical(t *testing.T) {
 	var serial, parallel bytes.Buffer
 	var errOut bytes.Buffer
-	if code := run([]string{"-fast", "-jobs", "1"}, &serial, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-fast", "-jobs", "1"}, &serial, &errOut); code != 0 {
 		t.Fatalf("serial run exited %d: %s", code, errOut.String())
 	}
-	if code := run([]string{"-fast", "-jobs", "4"}, &parallel, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-fast", "-jobs", "4"}, &parallel, &errOut); code != 0 {
 		t.Fatalf("parallel run exited %d: %s", code, errOut.String())
 	}
 	if serial.String() != parallel.String() {
@@ -83,10 +84,10 @@ func TestParallelOutputIdentical(t *testing.T) {
 func TestTimeoutFlag(t *testing.T) {
 	// A generous timeout must not disturb the run.
 	var timed, untimed, errOut bytes.Buffer
-	if code := run([]string{"-only", "fig11", "-timeout", "1m"}, &timed, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-only", "fig11", "-timeout", "1m"}, &timed, &errOut); code != 0 {
 		t.Fatalf("timed run exited %d: %s", code, errOut.String())
 	}
-	if code := run([]string{"-only", "fig11"}, &untimed, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-only", "fig11"}, &untimed, &errOut); code != 0 {
 		t.Fatalf("untimed run exited %d: %s", code, errOut.String())
 	}
 	if timed.String() != untimed.String() {
@@ -95,7 +96,7 @@ func TestTimeoutFlag(t *testing.T) {
 	// An already-expired deadline aborts with exit 1.
 	errOut.Reset()
 	var out bytes.Buffer
-	if code := run([]string{"-only", "fig7b", "-timeout", "1ns"}, &out, &errOut); code != 1 {
+	if code := run(context.Background(), []string{"-only", "fig7b", "-timeout", "1ns"}, &out, &errOut); code != 1 {
 		t.Fatalf("expired deadline exited %d, want 1 (stderr %q)", code, errOut.String())
 	}
 }

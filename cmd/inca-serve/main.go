@@ -1,0 +1,94 @@
+// Command inca-serve runs the HTTP simulation service: the paper's
+// design-space queries (single cells, declarative sweeps, suite
+// experiments) behind a production JSON API with bounded admission,
+// per-request deadlines, structured access logs, and graceful shutdown
+// on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	inca-serve -addr :8321
+//	inca-serve -inflight 8 -queue 128 -request-timeout 30s
+//	inca-serve -kernels 4          # cap the process-wide tensor budget
+//
+// Endpoints:
+//
+//	POST /v1/simulate            one (config, network, phase) cell
+//	POST /v1/sweep               declarative plan on the parallel engine
+//	GET  /v1/models              the network zoo
+//	GET  /v1/experiments         experiment index
+//	GET  /v1/experiments/{id}    one paper table/figure
+//	GET  /healthz                liveness
+//	GET  /metrics                counters, queue gauges, cache stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/inca-arch/inca"
+)
+
+func main() {
+	// SIGINT/SIGTERM triggers graceful shutdown: the listener closes and
+	// in-flight requests drain before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inca-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	inflight := fs.Int("inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth beyond -inflight; overflow answers 503")
+	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request deadline propagated into the sweep engine")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	kernels := fs.Int("kernels", 0, "process-wide tensor-kernel worker budget (0 = GOMAXPROCS tracking)")
+	quiet := fs.Bool("quiet", false, "suppress access logs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *kernels > 0 {
+		inca.SetKernelParallelism(*kernels)
+	}
+
+	logDst := io.Writer(stderr)
+	if *quiet {
+		logDst = io.Discard
+	}
+	logger := slog.New(slog.NewTextHandler(logDst, nil))
+
+	svc := inca.NewService(inca.ServiceOptions{
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+		DrainTimeout:   *drain,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// The resolved address line is the boot handshake: scripts (and the
+	// serve-smoke target) wait for it before sending traffic.
+	fmt.Fprintf(stdout, "inca-serve listening on http://%s\n", ln.Addr())
+	if err := svc.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "inca-serve drained, bye")
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run writes the handshake
+// from its own goroutine while the test polls for it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listeningRE = regexp.MustCompile(`inca-serve listening on (http://[0-9.]+:[0-9]+)`)
+
+// TestServeLifecycle boots the server on an ephemeral port, exercises
+// /healthz and one simulate cell, then cancels the context (the SIGINT
+// path) and asserts a clean drained exit.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, &stdout, &stderr)
+	}()
+
+	// Wait for the boot handshake and extract the resolved address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listeningRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no boot handshake; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"arch":"INCA"`)) {
+		t.Fatalf("simulate = %d %.200s", resp.StatusCode, body)
+	}
+
+	cancel() // stand-in for SIGINT/SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancellation")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Fatalf("missing drain message; stdout=%q", stdout.String())
+	}
+}
+
+// TestBadFlags asserts flag errors exit with the conventional status 2.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestBadListenAddr asserts an unusable address is a startup error.
+func TestBadListenAddr(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr=%q", code, stderr.String())
+	}
+}

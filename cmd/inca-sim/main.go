@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/inca-arch/inca"
 	"github.com/inca-arch/inca/internal/arch"
@@ -31,10 +33,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C / SIGTERM cancels the sweep engine cleanly: in-flight cells
+	// finish, unexecuted ones carry the context error, and the command
+	// exits through its normal error path instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("inca-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	model := fs.String("model", "ResNet18", "network (comma list sweeps): VGG16, VGG19, ResNet18, ResNet50, MobileNetV2, MNasNet, AlexNet, VGG16-CIFAR, ResNet18-CIFAR, LeNet5")
@@ -115,7 +122,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		archs = append(archs, inca.SweepConfig(cfg))
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestBasicRun(t *testing.T) {
 	var out, errOut bytes.Buffer
-	code := run([]string{"-model", "LeNet5", "-arch", "inca", "-layers", "-timeline"}, &out, &errOut)
+	code := run(context.Background(), []string{"-model", "LeNet5", "-arch", "inca", "-layers", "-timeline"}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
@@ -26,7 +27,7 @@ func TestBasicRun(t *testing.T) {
 func TestPlacementAndCSV(t *testing.T) {
 	csvPath := filepath.Join(t.TempDir(), "trace.csv")
 	var out, errOut bytes.Buffer
-	code := run([]string{"-model", "LeNet5", "-placement", "-csv", csvPath}, &out, &errOut)
+	code := run(context.Background(), []string{"-model", "LeNet5", "-placement", "-csv", csvPath}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
@@ -44,7 +45,7 @@ func TestPlacementAndCSV(t *testing.T) {
 
 func TestGPUAndTraining(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-model", "ResNet18", "-arch", "gpu", "-phase", "training"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-model", "ResNet18", "-arch", "gpu", "-phase", "training"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "TitanRTX") {
@@ -60,7 +61,7 @@ func TestCustomConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-model", "LeNet5", "-config", cfgPath}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-model", "LeNet5", "-config", cfgPath}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "MyINCA") {
@@ -78,7 +79,7 @@ func TestErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer
-		if code := run(args, &out, &errOut); code == 0 {
+		if code := run(context.Background(), args, &out, &errOut); code == 0 {
 			t.Errorf("args %v should fail", args)
 		}
 	}
@@ -88,7 +89,7 @@ func TestSweepMode(t *testing.T) {
 	var out, errOut bytes.Buffer
 	args := []string{"-model", "LeNet5,VGG16-CIFAR", "-arch", "inca,baseline,gpu",
 		"-phase", "inference,training", "-jobs", "4"}
-	if code := run(args, &out, &errOut); code != 0 {
+	if code := run(context.Background(), args, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	s := out.String()
@@ -109,7 +110,7 @@ func TestSweepMode(t *testing.T) {
 
 	// Same sweep serially must print the identical table.
 	var serial bytes.Buffer
-	if code := run(append(args[:len(args)-2], "-jobs", "1"), &serial, &errOut); code != 0 {
+	if code := run(context.Background(), append(args[:len(args)-2], "-jobs", "1"), &serial, &errOut); code != 0 {
 		t.Fatalf("serial exit %d: %s", code, errOut.String())
 	}
 	if serial.String() != s {
@@ -119,13 +120,13 @@ func TestSweepMode(t *testing.T) {
 
 func TestSweepTimeout(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-model", "LeNet5", "-arch", "inca,baseline",
+	if code := run(context.Background(), []string{"-model", "LeNet5", "-arch", "inca,baseline",
 		"-timeout", "1ns"}, &out, &errOut); code != 1 {
 		t.Fatalf("expired deadline exited %d, want 1 (stderr %q)", code, errOut.String())
 	}
 	out.Reset()
 	errOut.Reset()
-	if code := run([]string{"-model", "LeNet5", "-arch", "inca",
+	if code := run(context.Background(), []string{"-model", "LeNet5", "-arch", "inca",
 		"-timeout", "1m"}, &out, &errOut); code != 0 {
 		t.Fatalf("generous timeout exited %d: %s", code, errOut.String())
 	}
@@ -133,7 +134,7 @@ func TestSweepTimeout(t *testing.T) {
 
 func TestSummaryFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-model", "AlexNet", "-summary"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-model", "AlexNet", "-summary"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
 	if !strings.Contains(out.String(), "AlexNet") || !strings.Contains(out.String(), "total:") {

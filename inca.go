@@ -24,6 +24,7 @@ package inca
 import (
 	"context"
 	"math/rand"
+	"net/http"
 
 	"github.com/inca-arch/inca/internal/access"
 	"github.com/inca-arch/inca/internal/arch"
@@ -38,6 +39,7 @@ import (
 	"github.com/inca-arch/inca/internal/place"
 	"github.com/inca-arch/inca/internal/rram"
 	"github.com/inca-arch/inca/internal/sched"
+	"github.com/inca-arch/inca/internal/serve"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
@@ -537,3 +539,34 @@ func RunSweep(ctx context.Context, p SweepPlan, opt SweepOptions) ([]SweepResult
 func StreamSweep(ctx context.Context, p SweepPlan, opt SweepOptions) (<-chan SweepResult, error) {
 	return sweep.Stream(ctx, p, opt)
 }
+
+// --- HTTP simulation service (cmd/inca-serve's substrate) ---
+
+type (
+	// Service is the production HTTP simulation service: a stdlib-only
+	// JSON API over the v2 facade (POST /v1/simulate, POST /v1/sweep,
+	// GET /v1/models, GET /v1/experiments/{id}, /healthz, /metrics) with
+	// bounded admission, per-request deadlines, worker-budget coupling,
+	// and graceful shutdown. See internal/serve for the endpoint and
+	// production-behavior details.
+	Service = serve.Server
+	// ServiceOptions configures NewService; the zero value is
+	// production-usable (see serve.Options for every default).
+	ServiceOptions = serve.Options
+	// ServiceSimulateRequest is the POST /v1/simulate body.
+	ServiceSimulateRequest = serve.SimulateRequest
+	// ServiceSweepRequest is the POST /v1/sweep body.
+	ServiceSweepRequest = serve.SweepRequest
+	// ServiceSweepResponse is the POST /v1/sweep payload.
+	ServiceSweepResponse = serve.SweepResponse
+)
+
+// NewService builds the HTTP simulation service. Mount Handler on any
+// http.Server, or let Service.Serve manage listening and graceful
+// drain-on-cancel.
+func NewService(opt ServiceOptions) *Service { return serve.New(opt) }
+
+// NewServiceHandler is the one-line embedding path: the fully
+// instrumented handler (request IDs, access logs, admission, metrics)
+// with default options plus the given cache and logger taken from opt.
+func NewServiceHandler(opt ServiceOptions) http.Handler { return serve.New(opt).Handler() }

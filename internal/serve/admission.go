@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// errSaturated reports that both the execution slots and the wait
+	// queue are full → 503 + Retry-After.
+	errSaturated = errors.New("serve: admission queue saturated")
+	// errAbandoned reports that the request's context ended while it was
+	// still queued → 503 + Retry-After (the work never started).
+	errAbandoned = errors.New("serve: request abandoned while queued")
+)
+
+// admission is the bounded two-stage gate in front of every simulating
+// endpoint. A request first takes a ticket (capacity slots+queue — more
+// than that and it is rejected immediately with 503), then waits for one
+// of the slots execution permits (capacity slots). The split makes
+// saturation a constant-time check while keeping waits bounded by the
+// configured queue depth, so a flood degrades into fast 503s instead of
+// an unbounded goroutine pile-up.
+type admission struct {
+	tickets chan struct{}
+	slots   chan struct{}
+}
+
+func newAdmission(slots, queue int) *admission {
+	return &admission{
+		tickets: make(chan struct{}, slots+queue),
+		slots:   make(chan struct{}, slots),
+	}
+}
+
+// acquire admits the request or reports why it cannot run. On nil error
+// the caller must release(). Queue-time bookkeeping lands in m.
+func (a *admission) acquire(ctx context.Context, m *Metrics) error {
+	select {
+	case a.tickets <- struct{}{}:
+	default:
+		m.rejected.Add(1)
+		return errSaturated
+	}
+	m.queued.Add(1)
+	defer m.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		m.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		<-a.tickets
+		m.rejected.Add(1)
+		return errAbandoned
+	}
+}
+
+// release returns the execution slot and ticket taken by acquire.
+func (a *admission) release(m *Metrics) {
+	m.inflight.Add(-1)
+	<-a.slots
+	<-a.tickets
+}

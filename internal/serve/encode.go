@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/sweep"
+)
+
+// SimulateRequest is the /v1/simulate body: one (config, network, phase)
+// cell. Arch selects a built-in design ("inca", "baseline", "gpu");
+// Config, when present, replaces the built-in configuration entirely
+// (its Dataflow field selects the model, exactly like the v2 facade).
+type SimulateRequest struct {
+	Arch  string `json:"arch"`
+	Model string `json:"model"`
+	Phase string `json:"phase"`
+	// Batch overrides the configuration's batch size when > 0. Ignored
+	// for the fixed GPU roofline.
+	Batch  int              `json:"batch,omitempty"`
+	Config *json.RawMessage `json:"config,omitempty"`
+}
+
+// OverrideSpec is one declarative configuration transform of a sweep
+// request — the JSON form of sweep.Override for the knobs the paper's
+// studies turn (batch scaling, ADC precision, array geometry, 3D planes).
+// Zero fields leave the base configuration untouched.
+type OverrideSpec struct {
+	Name          string `json:"name,omitempty"`
+	Batch         int    `json:"batch,omitempty"`
+	ADCBits       int    `json:"adc_bits,omitempty"`
+	ArraySize     int    `json:"array_size,omitempty"`
+	StackedPlanes int    `json:"stacked_planes,omitempty"`
+}
+
+// label derives a stable override name when the caller did not give one.
+func (o OverrideSpec) label() string {
+	if o.Name != "" {
+		return o.Name
+	}
+	var parts []string
+	if o.Batch > 0 {
+		parts = append(parts, fmt.Sprintf("batch=%d", o.Batch))
+	}
+	if o.ADCBits > 0 {
+		parts = append(parts, fmt.Sprintf("adc=%d", o.ADCBits))
+	}
+	if o.ArraySize > 0 {
+		parts = append(parts, fmt.Sprintf("array=%d", o.ArraySize))
+	}
+	if o.StackedPlanes > 0 {
+		parts = append(parts, fmt.Sprintf("planes=%d", o.StackedPlanes))
+	}
+	if len(parts) == 0 {
+		return "base"
+	}
+	return strings.Join(parts, ",")
+}
+
+// override lowers the spec onto the engine's transform type.
+func (o OverrideSpec) override() sweep.Override {
+	return sweep.Override{
+		Name: o.label(),
+		Apply: func(cfg arch.Config) arch.Config {
+			if o.Batch > 0 {
+				cfg.BatchSize = o.Batch
+			}
+			if o.ADCBits > 0 {
+				cfg.ADCBits = o.ADCBits
+			}
+			if o.ArraySize > 0 {
+				cfg.SubarrayRows, cfg.SubarrayCols = o.ArraySize, o.ArraySize
+			}
+			if o.StackedPlanes > 0 {
+				cfg.StackedPlanes = o.StackedPlanes
+			}
+			return cfg
+		},
+	}
+}
+
+// SweepRequest is the /v1/sweep body: a declarative plan fanned out on
+// the engine — archs × models × phases × overrides, exactly the
+// cross-product shape of the paper's Figs 11–16.
+type SweepRequest struct {
+	Archs  []string `json:"archs"`
+	Models []string `json:"models"`
+	Phases []string `json:"phases"`
+	// Batch overrides every non-fixed arch's base batch size when > 0.
+	Batch     int            `json:"batch,omitempty"`
+	Overrides []OverrideSpec `json:"overrides,omitempty"`
+}
+
+// CellResult is one sweep cell's summary row in a /v1/sweep response.
+type CellResult struct {
+	Arch            string  `json:"arch"`
+	Override        string  `json:"override,omitempty"`
+	Network         string  `json:"network"`
+	Phase           string  `json:"phase"`
+	Cached          bool    `json:"cached"`
+	Error           string  `json:"error,omitempty"`
+	EnergyJ         float64 `json:"energy_j"`
+	LatencyS        float64 `json:"latency_s"`
+	EnergyPerImageJ float64 `json:"energy_per_image_j"`
+	ThroughputIPS   float64 `json:"throughput_ips"`
+	Utilization     float64 `json:"utilization"`
+}
+
+// SweepResponse is the /v1/sweep payload.
+type SweepResponse struct {
+	Cells  []CellResult     `json:"cells"`
+	Cached int              `json:"cached"`
+	Failed int              `json:"failed"`
+	Cache  sweep.CacheStats `json:"cache"`
+}
+
+// ModelInfo is one /v1/models entry.
+type ModelInfo struct {
+	Name        string `json:"name"`
+	Layers      int    `json:"layers"`
+	Weights     int64  `json:"weights"`
+	Activations int64  `json:"activations"`
+	MACs        int64  `json:"macs"`
+	LightModel  bool   `json:"light_model"`
+}
+
+// errorBody is the uniform JSON error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with a stable layout. Failures after the header is
+// out can only be logged.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encoding response", "err", err)
+	}
+}
+
+// writeError answers with the uniform error payload.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeUnavailable answers 503 with the Retry-After hint — the admission
+// path's contract: overload is explicit and immediately retriable.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.opt.RetryAfter.Seconds()+0.5)))
+	s.writeError(w, http.StatusServiceUnavailable, err)
+}
+
+// wantsCSV reports whether the request negotiated CSV output, either via
+// the Accept header or a ?format=csv query parameter.
+func wantsCSV(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "csv" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/csv")
+}
+
+// parsePhase maps the wire name onto the simulation phase.
+func parsePhase(name string) (sim.Phase, error) {
+	switch name {
+	case "inference":
+		return sim.Inference, nil
+	case "training":
+		return sim.Training, nil
+	default:
+		return 0, fmt.Errorf("unknown phase %q (want inference or training)", name)
+	}
+}
+
+// buildArch resolves an architecture name (plus optional batch override
+// and custom configuration) into a sweep axis. The custom configuration
+// is validated here so a bad request fails with 400 before admission.
+func buildArch(name string, batch int, rawCfg *json.RawMessage) (sweep.Arch, error) {
+	if rawCfg != nil {
+		cfg, err := arch.ReadJSON(strings.NewReader(string(*rawCfg)))
+		if err != nil {
+			return sweep.Arch{}, err
+		}
+		if batch > 0 {
+			cfg.BatchSize = batch
+		}
+		return sweep.ConfigArch(cfg), nil
+	}
+	var cfg arch.Config
+	switch name {
+	case "inca":
+		cfg = arch.INCA()
+	case "baseline":
+		cfg = arch.Baseline()
+	case "gpu":
+		return sweep.GPUArch(), nil
+	default:
+		return sweep.Arch{}, fmt.Errorf("unknown arch %q (want inca, baseline, or gpu)", name)
+	}
+	if batch > 0 {
+		cfg.BatchSize = batch
+	}
+	return sweep.ConfigArch(cfg), nil
+}

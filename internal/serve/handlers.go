@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/suite"
+	"github.com/inca-arch/inca/internal/sweep"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload (a
+// full custom arch.Config inside a sweep request) is a few KB.
+const maxBodyBytes = 1 << 20
+
+// decodeBody parses a JSON request body strictly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// testHookAdmitted, when non-nil, runs inside the admitted section of
+// every handler while it holds an execution slot; tests use it to pin a
+// request in flight across a graceful shutdown.
+var testHookAdmitted func()
+
+// admitted wraps the execution section of a handler with bounded
+// admission and the per-request deadline. It answers 503 + Retry-After
+// itself when the server is saturated.
+func (s *Server) admitted(w http.ResponseWriter, r *http.Request, run func(ctx context.Context)) {
+	if err := s.admit.acquire(r.Context(), s.metrics); err != nil {
+		s.writeUnavailable(w, err)
+		return
+	}
+	defer s.admit.release(s.metrics)
+	if testHookAdmitted != nil {
+		testHookAdmitted()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+	defer cancel()
+	run(ctx)
+}
+
+// statusForRunErr maps an execution error onto an HTTP status: deadline
+// overruns are the gateway-timeout family, everything else is internal.
+func statusForRunErr(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		// The client went away; the status is for the access log only.
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// handleSimulate evaluates one (config, network, phase) cell via the v2
+// facade path (validated config → simulator → context-aware Simulate),
+// memoized in the server's cache. The JSON response is the report's
+// stable encoding; Accept: text/csv negotiates the per-layer CSV trace.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	net, err := nn.ByName(req.Model)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	phase, err := parsePhase(req.Phase)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ax, err := buildArch(req.Arch, req.Batch, req.Config)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		plan := sweep.Plan{Archs: []sweep.Arch{ax}, Networks: []*nn.Network{net}, Phases: []sim.Phase{phase}}
+		results, err := sweep.Run(ctx, plan, sweep.Options{Workers: 1, Cache: s.cache})
+		if err == nil && results[0].Err != nil {
+			err = results[0].Err
+		}
+		if err != nil {
+			s.writeError(w, statusForRunErr(err), err)
+			return
+		}
+		rep := results[0].Report
+		if wantsCSV(r) {
+			w.Header().Set("Content-Type", "text/csv")
+			if err := rep.WriteCSV(w); err != nil {
+				s.log.Error("writing csv", "err", err)
+			}
+			return
+		}
+		s.writeJSON(w, http.StatusOK, rep)
+	})
+}
+
+// handleSweep fans a declarative plan out on the engine. Per-cell
+// failures are reported inline (the table stays rectangular); only an
+// invalid plan or an exhausted deadline fails the whole request.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var archs []sweep.Arch
+	for _, name := range req.Archs {
+		ax, err := buildArch(name, req.Batch, nil)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		archs = append(archs, ax)
+	}
+	var nets []*nn.Network
+	for _, name := range req.Models {
+		net, err := nn.ByName(name)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		nets = append(nets, net)
+	}
+	var phases []sim.Phase
+	for _, name := range req.Phases {
+		phase, err := parsePhase(name)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		phases = append(phases, phase)
+	}
+	var overrides []sweep.Override
+	for _, spec := range req.Overrides {
+		overrides = append(overrides, spec.override())
+	}
+	plan := sweep.Plan{Archs: archs, Networks: nets, Phases: phases, Overrides: overrides}
+	if _, err := plan.Cells(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		results, err := sweep.Run(ctx, plan, sweep.Options{Workers: s.requestWorkers(), Cache: s.cache})
+		if err != nil {
+			s.writeError(w, statusForRunErr(err), err)
+			return
+		}
+		resp := SweepResponse{Cells: make([]CellResult, 0, len(results)), Cache: s.cache.Stats()}
+		for _, res := range results {
+			cell := CellResult{
+				Arch:     res.Cell.Arch.Name,
+				Override: res.Cell.Override,
+				Network:  res.Cell.Network.Name,
+				Phase:    res.Cell.Phase.String(),
+				Cached:   res.Cached,
+			}
+			if res.Cached {
+				resp.Cached++
+			}
+			if res.Err != nil {
+				cell.Error = res.Err.Error()
+				resp.Failed++
+			} else {
+				rep := res.Report
+				cell.EnergyJ = rep.Total.Energy.Total()
+				cell.LatencyS = rep.Total.Latency
+				if perImage, err := rep.EnergyPerImage(); err == nil {
+					cell.EnergyPerImageJ = perImage
+				}
+				cell.ThroughputIPS = rep.Throughput()
+				cell.Utilization = rep.Utilization()
+			}
+			resp.Cells = append(resp.Cells, cell)
+		}
+		if wantsCSV(r) {
+			s.writeSweepCSV(w, resp)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// writeSweepCSV renders the sweep summary as CSV, one row per cell.
+func (s *Server) writeSweepCSV(w http.ResponseWriter, resp SweepResponse) {
+	w.Header().Set("Content-Type", "text/csv")
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"arch", "override", "network", "phase", "cached", "error",
+		"energy_j", "latency_s", "energy_per_image_j", "throughput_ips", "utilization"})
+	for _, c := range resp.Cells {
+		_ = cw.Write([]string{
+			c.Arch, c.Override, c.Network, c.Phase,
+			fmt.Sprint(c.Cached), c.Error,
+			fmt.Sprintf("%.6e", c.EnergyJ),
+			fmt.Sprintf("%.6e", c.LatencyS),
+			fmt.Sprintf("%.6e", c.EnergyPerImageJ),
+			fmt.Sprintf("%.6e", c.ThroughputIPS),
+			fmt.Sprintf("%.4f", c.Utilization),
+		})
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		s.log.Error("writing sweep csv", "err", err)
+	}
+}
+
+// handleModels lists the zoo with shape-level statistics.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	all := append(nn.PaperModels(), nn.VGG16CIFAR(), nn.ResNet18CIFAR(), nn.LeNet5(), nn.AlexNet())
+	infos := make([]ModelInfo, 0, len(all))
+	for _, net := range all {
+		infos = append(infos, ModelInfo{
+			Name:        net.Name,
+			Layers:      len(net.Layers),
+			Weights:     net.TotalWeights(),
+			Activations: net.TotalActivations(),
+			MACs:        net.TotalMACs(),
+			LightModel:  net.IsLightModel(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+// experimentInfo is one /v1/experiments index entry.
+type experimentInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	Heavy bool   `json:"heavy"`
+}
+
+// handleExperimentIndex lists the runnable suite experiments.
+func (s *Server) handleExperimentIndex(w http.ResponseWriter, _ *http.Request) {
+	var infos []experimentInfo
+	for _, e := range suite.All() {
+		infos = append(infos, experimentInfo{ID: e.ID, Name: e.Name, Heavy: e.Heavy})
+	}
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+// experimentResponse is the /v1/experiments/{id} payload: the rendered
+// paper table or figure, identical to cmd/inca-experiments' output for
+// the same id.
+type experimentResponse struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Heavy  bool   `json:"heavy"`
+	Output string `json:"output"`
+}
+
+// handleExperiment renders one suite experiment. Accept: text/plain
+// negotiates the raw table text.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	exp, err := suite.ByID(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		out, err := exp.Run(ctx)
+		if err != nil {
+			s.writeError(w, statusForRunErr(err), err)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" ||
+			(r.Header.Get("Accept") != "" && r.Header.Get("Accept") == "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, out)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, experimentResponse{ID: exp.ID, Name: exp.Name, Heavy: exp.Heavy, Output: out})
+	})
+}
+
+// handleHealthz is the liveness probe: the process is up and routing.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleMetrics exports the expvar-style counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.snapshot())
+}

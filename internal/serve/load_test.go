@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// loadCell pairs a request body with the expected response bytes,
+// computed once through the direct facade path before any traffic.
+type loadCell struct {
+	body string
+	want []byte
+}
+
+// TestConcurrentSimulateByteIdentity fires 48 concurrent /v1/simulate
+// requests (well above the required 32) at a small admission window so
+// queueing, cache singleflight, and response encoding all race, and
+// asserts every body is byte-identical to the direct facade encoding.
+func TestConcurrentSimulateByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxInflight: 4, QueueDepth: 64})
+
+	encode := func(cfg arch.Config, model string, phase sim.Phase) []byte {
+		b, err := json.Marshal(directReport(t, cfg, model, phase))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	cells := []loadCell{
+		{`{"arch":"inca","model":"LeNet5","phase":"inference"}`,
+			encode(arch.INCA(), "LeNet5", sim.Inference)},
+		{`{"arch":"baseline","model":"LeNet5","phase":"training"}`,
+			encode(arch.Baseline(), "LeNet5", sim.Training)},
+		{`{"arch":"inca","model":"VGG16-CIFAR","phase":"inference"}`,
+			encode(arch.INCA(), "VGG16-CIFAR", sim.Inference)},
+	}
+
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		cell := cells[i%len(cells)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader(cell.body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, buf.Bytes())
+				return
+			}
+			if !bytes.Equal(buf.Bytes(), cell.want) {
+				errs <- fmt.Errorf("response for %s differs from direct facade encoding", cell.body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMixedLoad hammers every endpoint family at once under
+// the race detector: simulates, sweeps, models, metrics, experiments.
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxInflight: 4, QueueDepth: 64})
+	requests := []func() (*http.Response, error){
+		func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/simulate", "application/json",
+				strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+		},
+		func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/sweep", "application/json",
+				strings.NewReader(`{"archs":["inca","baseline"],"models":["LeNet5"],"phases":["inference"]}`))
+		},
+		func() (*http.Response, error) { return http.Get(ts.URL + "/v1/models") },
+		func() (*http.Response, error) { return http.Get(ts.URL + "/metrics") },
+		func() (*http.Response, error) { return http.Get(ts.URL + "/v1/experiments") },
+		func() (*http.Response, error) { return http.Get(ts.URL + "/healthz") },
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 36)
+	for i := 0; i < 36; i++ {
+		req := requests[i%len(requests)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := req()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %.200s", resp.StatusCode, buf.Bytes())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight pins a request inside the admitted
+// section, requests shutdown, and asserts the pinned request still
+// completes with a full response while new connections are refused.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	testHookAdmitted = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	defer func() { testHookAdmitted = nil }()
+
+	s := New(Options{DrainTimeout: 10 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: buf.Bytes()}
+	}()
+
+	<-entered // the request holds its execution slot
+	cancel()  // request graceful shutdown
+
+	// Give the listener a moment to close, then let the pinned request go.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	res := <-inflight
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK || !json.Valid(res.body) {
+		t.Fatalf("drained request: status %d body %.120s", res.status, res.body)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after clean drain", err)
+	}
+
+	// The listener is closed: new connections must be refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting connections after shutdown")
+	}
+}
+
+// TestCacheSingleflightUnderLoad asserts that concurrent identical
+// requests produce exactly one simulation (one cache miss) and that the
+// rest are hits or singleflight-coalesced waits.
+func TestCacheSingleflightUnderLoad(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxInflight: 8, QueueDepth: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+				strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+			if err == nil {
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	stats := s.Cache().Stats()
+	if stats.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (singleflight should coalesce)", stats.Misses)
+	}
+	if stats.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", stats.Entries)
+	}
+	if got := stats.Hits + stats.Misses; got != 32 {
+		t.Fatalf("hits+misses = %d, want 32", got)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/inca-arch/inca/internal/suite"
+	"github.com/inca-arch/inca/internal/sweep"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// numLatencyBuckets counts the histogram's bounded buckets; one more
+// +Inf overflow bucket follows them.
+const numLatencyBuckets = 14
+
+// latencyBounds are the histogram bucket upper bounds in seconds; the
+// final implicit bucket is +Inf. Simulations of the analytical models run
+// in microseconds-to-milliseconds; sweeps and experiments in the
+// hundreds of milliseconds.
+var latencyBounds = [numLatencyBuckets]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Metrics is the server's expvar-style counter set. All fields are
+// atomics; Snapshot renders a consistent-enough JSON view for /metrics.
+type Metrics struct {
+	start time.Time
+
+	requests atomic.Int64 // HTTP requests received
+	rejected atomic.Int64 // 503s from admission (saturated or abandoned)
+	inflight atomic.Int64 // requests holding an execution slot
+	queued   atomic.Int64 // requests waiting for a slot
+
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+
+	latencyCount atomic.Int64
+	latencySumNS atomic.Int64
+	latencyBkts  [len(latencyBounds) + 1]atomic.Int64
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// observe records one completed HTTP exchange.
+func (m *Metrics) observe(status int, d time.Duration) {
+	switch {
+	case status >= 500:
+		m.status5xx.Add(1)
+	case status >= 400:
+		m.status4xx.Add(1)
+	default:
+		m.status2xx.Add(1)
+	}
+	m.latencyCount.Add(1)
+	m.latencySumNS.Add(int64(d))
+	s := d.Seconds()
+	b := len(latencyBounds) // +Inf bucket
+	for i, bound := range latencyBounds {
+		if s <= bound {
+			b = i
+			break
+		}
+	}
+	m.latencyBkts[b].Add(1)
+}
+
+// Histogram is the JSON form of the request-latency histogram:
+// cumulative-free per-bucket counts with explicit upper bounds (the last
+// count is the +Inf overflow bucket).
+type Histogram struct {
+	BoundsS []float64 `json:"bounds_s"`
+	Counts  []int64   `json:"counts"`
+	Count   int64     `json:"count"`
+	SumS    float64   `json:"sum_s"`
+}
+
+// Snapshot is the /metrics payload.
+type Snapshot struct {
+	UptimeS     float64 `json:"uptime_s"`
+	Requests    int64   `json:"requests_total"`
+	Rejected    int64   `json:"rejected_total"`
+	Inflight    int64   `json:"inflight"`
+	Queued      int64   `json:"queued"`
+	MaxInflight int     `json:"max_inflight"`
+	QueueDepth  int     `json:"queue_depth"`
+	Status2xx   int64   `json:"responses_2xx"`
+	Status4xx   int64   `json:"responses_4xx"`
+	Status5xx   int64   `json:"responses_5xx"`
+	// KernelBudget is the process-wide tensor worker budget the server's
+	// per-request sweep pools are derived from.
+	KernelBudget   int              `json:"kernel_budget"`
+	RequestWorkers int              `json:"request_workers"`
+	Latency        Histogram        `json:"latency"`
+	Cache          sweep.CacheStats `json:"cache"`
+	// SuiteCache is the experiment suite's shared process-wide cache,
+	// exercised by /v1/experiments.
+	SuiteCache sweep.CacheStats `json:"suite_cache"`
+}
+
+// snapshot collects every counter. Each field is individually exact; the
+// set is read without a global lock, so a snapshot taken mid-request may
+// be off by one between related fields.
+func (s *Server) snapshot() Snapshot {
+	m := s.metrics
+	counts := make([]int64, len(m.latencyBkts))
+	for i := range m.latencyBkts {
+		counts[i] = m.latencyBkts[i].Load()
+	}
+	return Snapshot{
+		UptimeS:        time.Since(m.start).Seconds(),
+		Requests:       m.requests.Load(),
+		Rejected:       m.rejected.Load(),
+		Inflight:       m.inflight.Load(),
+		Queued:         m.queued.Load(),
+		MaxInflight:    s.opt.MaxInflight,
+		QueueDepth:     s.opt.QueueDepth,
+		Status2xx:      m.status2xx.Load(),
+		Status4xx:      m.status4xx.Load(),
+		Status5xx:      m.status5xx.Load(),
+		KernelBudget:   tensor.Parallelism(),
+		RequestWorkers: s.requestWorkers(),
+		Latency: Histogram{
+			BoundsS: latencyBounds[:],
+			Counts:  counts,
+			Count:   m.latencyCount.Load(),
+			SumS:    time.Duration(m.latencySumNS.Load()).Seconds(),
+		},
+		Cache:      s.cache.Stats(),
+		SuiteCache: suite.CacheStats(),
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// requestIDHeader carries the request's correlation ID on the response
+// (and is honored on the request, so callers can supply their own).
+const requestIDHeader = "X-Request-Id"
+
+// reqSeq numbers requests process-wide; IDs stay unique across the many
+// Server instances tests spin up.
+var reqSeq atomic.Uint64
+
+// statusWriter captures the status code and payload size for logs and
+// metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps the route mux with the service-wide middleware stack:
+// request IDs, panic recovery, metrics, and structured access logs.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", reqSeq.Add(1))
+		}
+		w.Header().Set(requestIDHeader, id)
+		s.metrics.requests.Add(1)
+
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				// A handler panic must not kill the connection silently:
+				// answer 500 if nothing was written and keep serving.
+				if sw.status == 0 {
+					http.Error(sw, fmt.Sprintf(`{"error":"internal: %v"}`, rec), http.StatusInternalServerError)
+				}
+				s.log.Error("panic", "id", id, "method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+			}
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			d := time.Since(start)
+			s.metrics.observe(sw.status, d)
+			s.log.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"dur", d.String(),
+			)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,177 @@
+// Package serve is the HTTP simulation service over the v2 facade: a
+// stdlib-only JSON API that exposes single-cell simulation, declarative
+// sweeps on the parallel engine, the model zoo, and the paper's
+// experiment suite. Production behaviors are built in, not bolted on:
+//
+//   - bounded admission — at most MaxInflight requests simulate
+//     concurrently and at most QueueDepth more wait; beyond that the
+//     server answers 503 with a Retry-After hint instead of blocking or
+//     dropping connections;
+//   - per-request deadlines — RequestTimeout becomes a context deadline
+//     that propagates into the sweep engine, so an abandoned request
+//     stops consuming workers at the next cell boundary;
+//   - worker-budget coupling — each admitted request runs its sweep with
+//     max(1, tensor.Parallelism()/MaxInflight) workers, so a fully
+//     loaded server draws the same process-wide budget PR 2's kernels
+//     share and never oversubscribes the host;
+//   - graceful shutdown — Serve drains in-flight requests when its
+//     context ends (SIGINT/SIGTERM in cmd/inca-serve);
+//   - observability — request IDs, structured access logs, and /metrics
+//     counters (requests, inflight, queue depth, sweep.Cache stats, a
+//     latency histogram).
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"github.com/inca-arch/inca/internal/sweep"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// Options configures a Server. The zero value is production-usable:
+// every field has a sensible default applied by New.
+type Options struct {
+	// MaxInflight bounds how many requests may simulate concurrently;
+	// <= 0 means runtime.GOMAXPROCS(0).
+	MaxInflight int
+	// QueueDepth bounds how many admitted requests may wait for an
+	// execution slot beyond MaxInflight; < 0 means 0 (no queue). The
+	// default is 64.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline propagated as a context
+	// into the sweep engine; <= 0 means 60s.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 503 responses when the queue
+	// is saturated; <= 0 means 1s.
+	RetryAfter time.Duration
+	// DrainTimeout bounds graceful shutdown: how long Serve waits for
+	// in-flight requests after its context ends; <= 0 means 15s.
+	DrainTimeout time.Duration
+	// Cache memoizes simulation cells across requests. nil gives the
+	// server a private cache.
+	Cache *sweep.Cache
+	// Logger receives structured access and lifecycle logs. nil discards
+	// them (library embedders opt in; cmd/inca-serve passes a real one).
+	Logger *slog.Logger
+}
+
+// withDefaults resolves every unset option.
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 60 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 15 * time.Second
+	}
+	if o.Cache == nil {
+		o.Cache = sweep.NewCache()
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Server is the HTTP simulation service. Construct with New; the zero
+// value is not usable.
+type Server struct {
+	opt     Options
+	log     *slog.Logger
+	cache   *sweep.Cache
+	admit   *admission
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New builds a Server from options (see Options for the defaults).
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		log:     opt.Logger,
+		cache:   opt.Cache,
+		admit:   newAdmission(opt.MaxInflight, opt.QueueDepth),
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// Handler returns the fully instrumented http.Handler (request IDs,
+// access logs, panic recovery, metrics). Mount it on any http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's counters (snapshot with Snapshot).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache returns the server's simulation cache.
+func (s *Server) Cache() *sweep.Cache { return s.cache }
+
+// requestWorkers is the sweep worker-pool size granted to one admitted
+// request: the process-wide kernel budget split across the admission
+// width, never below one. With the server fully loaded this keeps total
+// sweep concurrency at the same budget tensor kernels draw from, so the
+// service cannot oversubscribe the host.
+func (s *Server) requestWorkers() int {
+	w := tensor.Parallelism() / s.opt.MaxInflight
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Serve accepts connections on ln until ctx ends, then shuts down
+// gracefully: no new connections, in-flight requests drain for up to
+// DrainTimeout. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler: s.handler,
+		BaseContext: func(net.Listener) context.Context {
+			// Detach request contexts from ctx: shutdown must drain
+			// in-flight work, not cancel it mid-cell.
+			return context.Background()
+		},
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "drain_timeout", s.opt.DrainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(drainCtx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

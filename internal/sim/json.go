@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"github.com/inca-arch/inca/internal/metrics"
+)
+
+// JSON encoding of reports. metrics.Energy keeps its per-component tally
+// unexported, so the standard encoder would render it as "{}"; the DTOs
+// below spell every field out explicitly, giving the HTTP service (and
+// any other machine consumer) a stable, self-describing schema. Field
+// names and units are frozen: energies in joules, latencies in seconds,
+// the phase as its display string. Two reports that are equal produce
+// byte-identical encodings, which the serve load tests rely on.
+
+type energyJSON struct {
+	TotalJ   float64 `json:"total_j"`
+	DRAMJ    float64 `json:"dram_j"`
+	BufferJ  float64 `json:"buffer_j"`
+	RRAMJ    float64 `json:"rram_j"`
+	ADCJ     float64 `json:"adc_j"`
+	DACJ     float64 `json:"dac_j"`
+	DigitalJ float64 `json:"digital_j"`
+}
+
+func encodeEnergy(e metrics.Energy) energyJSON {
+	return energyJSON{
+		TotalJ:   e.Total(),
+		DRAMJ:    e.Of(metrics.DRAM),
+		BufferJ:  e.Of(metrics.Buffer),
+		RRAMJ:    e.Of(metrics.RRAMArray),
+		ADCJ:     e.Of(metrics.ADC),
+		DACJ:     e.Of(metrics.DAC),
+		DigitalJ: e.Of(metrics.Digital),
+	}
+}
+
+type countsJSON struct {
+	RRAMReads      int64 `json:"rram_reads"`
+	RRAMWrites     int64 `json:"rram_writes"`
+	ADCConversions int64 `json:"adc_conversions"`
+	DACConversions int64 `json:"dac_conversions"`
+	BufferAccesses int64 `json:"buffer_accesses"`
+	DRAMBytes      int64 `json:"dram_bytes"`
+	DigitalOps     int64 `json:"digital_ops"`
+}
+
+func encodeCounts(c metrics.Counts) countsJSON {
+	return countsJSON{
+		RRAMReads:      c.RRAMReads,
+		RRAMWrites:     c.RRAMWrites,
+		ADCConversions: c.ADCConversions,
+		DACConversions: c.DACConversions,
+		BufferAccesses: c.BufferAccesses,
+		DRAMBytes:      c.DRAMAccesses,
+		DigitalOps:     c.DigitalOps,
+	}
+}
+
+type resultJSON struct {
+	Energy   energyJSON `json:"energy"`
+	LatencyS float64    `json:"latency_s"`
+	Counts   countsJSON `json:"counts"`
+}
+
+func encodeResult(r metrics.Result) resultJSON {
+	return resultJSON{Energy: encodeEnergy(r.Energy), LatencyS: r.Latency, Counts: encodeCounts(r.Counts)}
+}
+
+type layerJSON struct {
+	Name           string     `json:"name"`
+	Kind           string     `json:"kind"`
+	Result         resultJSON `json:"result"`
+	Utilization    float64    `json:"utilization"`
+	AllocatedCells int64      `json:"allocated_cells"`
+}
+
+type reportJSON struct {
+	Arch            string      `json:"arch"`
+	Network         string      `json:"network"`
+	Phase           string      `json:"phase"`
+	Batch           int         `json:"batch"`
+	EnergyPerImageJ float64     `json:"energy_per_image_j"`
+	ThroughputIPS   float64     `json:"throughput_ips"`
+	Utilization     float64     `json:"utilization"`
+	Total           resultJSON  `json:"total"`
+	Layers          []layerJSON `json:"layers"`
+}
+
+// MarshalJSON renders the report with explicit units and derived
+// per-image figures. EnergyPerImageJ is zero when the batch size is not
+// positive (the error-returning accessor remains EnergyPerImage).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Arch:          r.Arch,
+		Network:       r.Network,
+		Phase:         r.Phase.String(),
+		Batch:         r.Batch,
+		ThroughputIPS: r.Throughput(),
+		Utilization:   r.Utilization(),
+		Total:         encodeResult(r.Total),
+		Layers:        make([]layerJSON, 0, len(r.Layers)),
+	}
+	if perImage, err := r.EnergyPerImage(); err == nil {
+		out.EnergyPerImageJ = perImage
+	}
+	for _, lr := range r.Layers {
+		out.Layers = append(out.Layers, layerJSON{
+			Name:           lr.Layer.Name,
+			Kind:           lr.Layer.Kind.String(),
+			Result:         encodeResult(lr.Result),
+			Utilization:    lr.Utilization,
+			AllocatedCells: lr.AllocatedCells,
+		})
+	}
+	return json.Marshal(out)
+}

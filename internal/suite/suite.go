@@ -1,7 +1,11 @@
 // Package suite assembles every paper table and figure as a named,
 // runnable experiment producing a rendered text report. The benchmark
-// harness (bench_test.go) and cmd/inca-experiments both drive this
-// package, so the printed rows are identical in both paths.
+// harness (bench_test.go), cmd/inca-experiments, and the HTTP service's
+// /v1/experiments endpoint all drive this package, so the printed rows
+// are identical in every path. Experiments accept a context (deadlines
+// propagate into the sweep engine) and return errors instead of
+// panicking — a server embedding the suite cannot afford a
+// panic-per-bad-cell.
 package suite
 
 import (
@@ -26,23 +30,29 @@ import (
 // (config, network, phase) key exactly once.
 var engineCache = sweep.NewCache()
 
+// CacheStats snapshots the shared experiment cache's counters (exported
+// so the HTTP service's /metrics endpoint can report them alongside its
+// own cache).
+func CacheStats() sweep.CacheStats { return engineCache.Stats() }
+
 // evalPlan runs a plan on the sweep engine with the shared cache and
 // returns the reports in deterministic plan order (architectures
-// outermost, then overrides, networks, phases). The suite's plans are
-// static and valid, so any cell failure is a programming error.
-func evalPlan(p sweep.Plan) []*sim.Report {
-	results, err := sweep.Run(context.Background(), p, sweep.Options{Cache: engineCache})
+// outermost, then overrides, networks, phases). Any cell failure —
+// including a cancelled or expired context — is returned to the caller
+// rather than panicking.
+func evalPlan(ctx context.Context, p sweep.Plan) ([]*sim.Report, error) {
+	results, err := sweep.Run(ctx, p, sweep.Options{Cache: engineCache})
 	if err != nil {
-		panic("suite: " + err.Error())
+		return nil, fmt.Errorf("suite: %w", err)
 	}
 	reps := make([]*sim.Report, len(results))
 	for i, r := range results {
 		if r.Err != nil {
-			panic(fmt.Sprintf("suite: cell %s: %v", r.Cell.Key(), r.Err))
+			return nil, fmt.Errorf("suite: cell %s: %w", r.Cell.Key(), r.Err)
 		}
 		reps[i] = r.Report
 	}
-	return reps
+	return reps, nil
 }
 
 // Experiment is one regenerable table or figure.
@@ -51,7 +61,10 @@ type Experiment struct {
 	Name string
 	// Heavy marks experiments that train networks (seconds of CPU).
 	Heavy bool
-	Run   func() string
+	// Run renders the experiment. The context's deadline/cancellation
+	// propagates into the sweep engine; cell failures come back as
+	// errors.
+	Run func(ctx context.Context) (string, error)
 }
 
 // All returns every experiment in paper order.
@@ -90,7 +103,7 @@ func ByID(id string) (Experiment, error) {
 }
 
 // Fig1b renders the DRAM latency curve.
-func Fig1b() string {
+func Fig1b(context.Context) (string, error) {
 	d := arch.INCA().DRAM
 	fig := &report.Figure{Title: "Fig 1b: DRAM latency vs sustained-bandwidth utilization",
 		XLabel: "utilization", YLabel: "latency (ns)"}
@@ -100,24 +113,27 @@ func Fig1b() string {
 		ys = append(ys, d.LatencyAt(u)*1e9)
 	}
 	fig.Add("HBM2", xs, ys)
-	return fig.String()
+	return fig.String(), nil
 }
 
 // Fig6 renders the WS energy breakdown on the CIFAR-10 networks.
-func Fig6() string {
+func Fig6(ctx context.Context) (string, error) {
 	cfg := arch.Baseline()
 	cfg.BatchSize = 1
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.ConfigArch(cfg)},
 		Networks: []*nn.Network{nn.VGG16CIFAR(), nn.ResNet18CIFAR()},
 		Phases:   []sim.Phase{sim.Inference},
 	})
+	if err != nil {
+		return "", err
+	}
 	t := report.New("Fig 6: WS energy breakdown, CIFAR-10 (share of total)",
 		"network", "DRAM", "Buffer", "RRAM", "ADC", "DAC", "Digital")
 	for _, r := range reps {
 		t.AddRow(append([]any{r.Network}, shares(r)...)...)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 func shares(r *sim.Report) []any {
@@ -129,40 +145,40 @@ func shares(r *sim.Report) []any {
 }
 
 // Fig7a renders the access-count comparison at 16-bit precision.
-func Fig7a() string {
+func Fig7a(context.Context) (string, error) {
 	t := report.New("Fig 7a: memory accesses, 16-bit data / 256-bit bus",
 		"network", "WS", "IS", "WS/IS")
 	for _, net := range nn.PaperModels() {
 		ac := access.CountNetwork(net, 16, 256)
 		t.AddRow(net.Name, float64(ac.Baseline), float64(ac.INCA), ac.Ratio())
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig7b renders the unrolling blow-up for the heavy models.
-func Fig7b() string {
+func Fig7b(context.Context) (string, error) {
 	t := report.New("Fig 7b: IS RRAM demand, unrolled vs direct convolution",
 		"network", "unrolled", "direct", "ratio")
 	for _, net := range nn.HeavyModels() {
 		u := access.CountUnroll(net)
 		t.AddRow(net.Name, float64(u.Unrolled), float64(u.Direct), u.Ratio())
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Table1 runs the bit-depth accuracy study.
-func Table1() string {
+func Table1(context.Context) (string, error) {
 	rows := train.BitDepthTable(train.DefaultExperimentConfig(), []int{7, 6, 5, 4, 3, 2})
 	t := report.New("Table I: accuracy drop vs bit depth (percentage points)",
 		"bits", "8b-wt + act@bits", "8b-act + wt@bits")
 	for _, r := range rows {
 		t.AddRow(r.Bits, r.ActQuantDrop, r.WeightQuantDrop)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Table2 renders the architecture configuration summary.
-func Table2() string {
+func Table2(context.Context) (string, error) {
 	i, b := arch.INCA(), arch.Baseline()
 	t := report.New("Table II: architecture configuration", "parameter", "INCA", "baseline")
 	t.AddRow("subarray", fmt.Sprintf("%dx%dx%d", i.SubarrayRows, i.SubarrayCols, i.StackedPlanes),
@@ -178,18 +194,21 @@ func Table2() string {
 		fmt.Sprintf("%dKB/%d-bit", b.Buffer.CapacityBytes/1024, b.Buffer.BusWidthBits))
 	t.AddRow("cell R on/off (ohm)", fmt.Sprintf("%.0fk/%.0fM", i.Device.ROn/1e3, i.Device.ROff/1e6),
 		fmt.Sprintf("%.0fk/%.0fM", b.Device.ROn/1e3, b.Device.ROff/1e6))
-	return t.String()
+	return t.String(), nil
 }
 
 // comparison renders one phase's six-network comparison, evaluated on
 // the sweep engine (both architectures across all six networks).
-func comparison(phase sim.Phase) *report.Table {
+func comparison(ctx context.Context, phase sim.Phase) (*report.Table, error) {
 	nets := nn.PaperModels()
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
 		Networks: nets,
 		Phases:   []sim.Phase{phase},
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.New(fmt.Sprintf("INCA vs WS baseline, %s (batch 64)", phase),
 		"network", "energy ratio", "speedup", "perf/W (Fig 11)")
 	for i, net := range nets {
@@ -198,22 +217,32 @@ func comparison(phase sim.Phase) *report.Table {
 		s := a.Total.SpeedupVs(b.Total)
 		t.AddRow(net.Name, e, s, e*s)
 	}
-	return t
+	return t, nil
 }
 
 // Fig11 renders the energy-efficiency comparison for both phases.
-func Fig11() string {
-	return "Fig 11a: " + comparison(sim.Inference).String() +
-		"\nFig 11b: " + comparison(sim.Training).String()
+func Fig11(ctx context.Context) (string, error) {
+	inf, err := comparison(ctx, sim.Inference)
+	if err != nil {
+		return "", err
+	}
+	tr, err := comparison(ctx, sim.Training)
+	if err != nil {
+		return "", err
+	}
+	return "Fig 11a: " + inf.String() + "\nFig 11b: " + tr.String(), nil
 }
 
 // Fig12 renders the layerwise DRAM+buffer energy of VGG16.
-func Fig12() string {
-	reps := evalPlan(sweep.Plan{
+func Fig12(ctx context.Context) (string, error) {
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
 		Networks: []*nn.Network{nn.VGG16()},
 		Phases:   []sim.Phase{sim.Inference},
 	})
+	if err != nil {
+		return "", err
+	}
 	ir, br := reps[0], reps[1]
 	t := report.New("Fig 12: layerwise DRAM+buffer energy, VGG16 (J/batch)",
 		"layer", "WS", "INCA")
@@ -226,19 +255,22 @@ func Fig12() string {
 		}
 		t.AddRow(br.Layers[j].Layer.Name, mem(br.Layers[j]), mem(ir.Layers[j]))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig13 renders the ADC energy comparison and INCA's breakdown.
-func Fig13() string {
+func Fig13(ctx context.Context) (string, error) {
 	net := nn.VGG16()
 	cfg := arch.INCA()
 	cfg.BatchSize = 1
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch(), sweep.ConfigArch(cfg)},
 		Networks: []*nn.Network{net},
 		Phases:   []sim.Phase{sim.Inference},
 	})
+	if err != nil {
+		return "", err
+	}
 	ir, br, r := reps[0], reps[1], reps[2]
 	ta := report.New("Fig 13a: ADC energy, VGG16 (J/batch)", "design", "ADC energy", "vs INCA")
 	ia := ir.Total.Energy.Of(metrics.ADC)
@@ -249,30 +281,33 @@ func Fig13() string {
 	tb := report.New("Fig 13b: INCA energy breakdown, VGG16 (share of total)",
 		"network", "DRAM", "Buffer", "RRAM", "ADC", "DAC", "Digital")
 	tb.AddRow(append([]any{net.Name}, shares(r)...)...)
-	return ta.String() + "\n" + tb.String()
+	return ta.String() + "\n" + tb.String(), nil
 }
 
 // Table3 renders the Table III estimates at 8-bit precision.
-func Table3() string {
+func Table3(context.Context) (string, error) {
 	t := report.New("Table III: estimated buffer accesses, 8-bit / 256-bit bus",
 		"network", "baseline", "INCA", "ratio")
 	for _, net := range nn.PaperModels() {
 		ac := access.CountNetwork(net, 8, 256)
 		t.AddRow(net.Name, float64(ac.Baseline), float64(ac.INCA), ac.Ratio())
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig14 renders the speedup comparison for both phases.
-func Fig14() string {
+func Fig14(ctx context.Context) (string, error) {
 	out := ""
 	nets := nn.PaperModels()
 	for _, phase := range []sim.Phase{sim.Inference, sim.Training} {
-		reps := evalPlan(sweep.Plan{
+		reps, err := evalPlan(ctx, sweep.Plan{
 			Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
 			Networks: nets,
 			Phases:   []sim.Phase{phase},
 		})
+		if err != nil {
+			return "", err
+		}
 		t := report.New(fmt.Sprintf("Fig 14: speedup, %s (batch 64)", phase),
 			"network", "WS latency (s)", "INCA latency (s)", "speedup")
 		for i, net := range nets {
@@ -281,17 +316,20 @@ func Fig14() string {
 		}
 		out += t.String() + "\n"
 	}
-	return out
+	return out, nil
 }
 
 // Fig15 renders the INCA-versus-GPU training comparison.
-func Fig15() string {
+func Fig15(ctx context.Context) (string, error) {
 	nets := nn.PaperModels()
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.GPUArch()},
 		Networks: nets,
 		Phases:   []sim.Phase{sim.Training},
 	})
+	if err != nil {
+		return "", err
+	}
 	incaArea := arch.INCA().Area().Total()
 	t := report.New("Fig 15: INCA vs GPU, training (batch 64)",
 		"network", "energy ratio", "tput/area INCA", "tput/area GPU", "iso-area ratio")
@@ -301,13 +339,13 @@ func Fig15() string {
 		gt := gpu.ThroughputPerArea(gr, gpu.TitanRTX().AreaMM2)
 		t.AddRow(net.Name, ir.Total.EnergyEfficiencyVs(gr.Total), it, gt, it/gt)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Fig16 renders the utilization sweep and per-network comparison. The
 // array-size study uses the engine's override axis: one named transform
 // per subarray geometry.
-func Fig16() string {
+func Fig16(ctx context.Context) (string, error) {
 	sizes := []int{8, 16, 32, 64, 128}
 	var overrides []sweep.Override
 	for _, s := range sizes {
@@ -320,12 +358,15 @@ func Fig16() string {
 			},
 		})
 	}
-	sweepReps := evalPlan(sweep.Plan{
+	sweepReps, err := evalPlan(ctx, sweep.Plan{
 		Archs:     []sweep.Arch{sweep.INCAArch()},
 		Networks:  []*nn.Network{nn.VGG16()},
 		Phases:    []sim.Phase{sim.Inference},
 		Overrides: overrides,
 	})
+	if err != nil {
+		return "", err
+	}
 	fig := &report.Figure{Title: "Fig 16a: INCA utilization vs array size (VGG16)",
 		XLabel: "array size", YLabel: "utilization"}
 	var xs, ys []float64
@@ -336,20 +377,23 @@ func Fig16() string {
 	fig.Add("INCA", xs, ys)
 
 	nets := nn.PaperModels()
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
 		Networks: nets,
 		Phases:   []sim.Phase{sim.Inference},
 	})
+	if err != nil {
+		return "", err
+	}
 	t := report.New("Fig 16b: utilization by network", "network", "INCA", "WS baseline")
 	for i, net := range nets {
 		t.AddRow(net.Name, reps[i].Utilization(), reps[len(nets)+i].Utilization())
 	}
-	return fig.String() + "\n" + t.String()
+	return fig.String() + "\n" + t.String(), nil
 }
 
 // Table4 renders the memory footprint formulas.
-func Table4() string {
+func Table4(context.Context) (string, error) {
 	const mb = 1024 * 1024
 	t := report.New("Table IV: memory footprint (MB)",
 		"network", "base RRAM", "base buffers", "INCA RRAM", "INCA buffers")
@@ -358,11 +402,11 @@ func Table4() string {
 		a := float64(net.TotalActivations()) / mb
 		t.AddRow(net.Name, 2*w+a, a, a, w)
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Table5 renders the area breakdown.
-func Table5() string {
+func Table5(context.Context) (string, error) {
 	t := report.New("Table V: area breakdown (mm²)", "component", "baseline", "INCA")
 	ba := arch.Baseline().Area()
 	ia := arch.INCA().Area()
@@ -373,20 +417,23 @@ func Table5() string {
 	t.AddRow("Post-processing", ba.PostProcessing, ia.PostProcessing)
 	t.AddRow("Others", ba.Others, ia.Others)
 	t.AddRow("Total", ba.Total(), ia.Total())
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtEndurance renders the §VI future-work endurance analysis: per-cell
 // write pressure and wall-clock lifetime for both dataflows, using the
 // simulated ResNet18 batch latencies.
-func ExtEndurance() string {
+func ExtEndurance(ctx context.Context) (string, error) {
 	net := nn.ResNet18()
 	dev := arch.INCA().Device
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
 		Networks: []*nn.Network{net},
 		Phases:   []sim.Phase{sim.Inference, sim.Training},
 	})
+	if err != nil {
+		return "", err
+	}
 	t := report.New("Extension: endurance on "+dev.Name+" (ResNet18, batch 64)",
 		"design", "phase", "writes/cell/batch", "batches to failure", "lifetime (years)")
 	for i, phase := range []sim.Phase{sim.Inference, sim.Training} {
@@ -396,12 +443,12 @@ func ExtEndurance() string {
 		t.AddRow("INCA", phase.String(), ip.WritesPerCellPerBatch, ip.BatchesToFailure, ip.LifetimeYears())
 		t.AddRow("WS-Baseline", phase.String(), bp.WritesPerCellPerBatch, bp.BatchesToFailure, bp.LifetimeYears())
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtDevices renders the §VI "other hardware candidates" study: INCA's
 // energy and training lifetime with each device technology.
-func ExtDevices() string {
+func ExtDevices(ctx context.Context) (string, error) {
 	net := nn.ResNet18()
 	devs := endure.Candidates()
 	var overrides []sweep.Override
@@ -415,12 +462,15 @@ func ExtDevices() string {
 			},
 		})
 	}
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:     []sweep.Arch{sweep.INCAArch()},
 		Networks:  []*nn.Network{net},
 		Phases:    []sim.Phase{sim.Training},
 		Overrides: overrides,
 	})
+	if err != nil {
+		return "", err
+	}
 	t := report.New("Extension: INCA on alternative devices (ResNet18 training, batch 64)",
 		"device", "energy (J/batch)", "latency (s)", "lifetime (years)")
 	for i, dev := range devs {
@@ -428,12 +478,12 @@ func ExtDevices() string {
 		p := endure.Analyze("INCA", sim.Training, dev, net, r.Total.Latency)
 		t.AddRow(dev.Name, r.Total.Energy.Total(), r.Total.Latency, p.LifetimeYears())
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ExtBatchSweep renders INCA's per-image cost versus batch size — the 3D
 // plane amortization.
-func ExtBatchSweep() string {
+func ExtBatchSweep(ctx context.Context) (string, error) {
 	batches := []int{1, 4, 16, 64}
 	var overrides []sweep.Override
 	for _, b := range batches {
@@ -446,23 +496,26 @@ func ExtBatchSweep() string {
 			},
 		})
 	}
-	reps := evalPlan(sweep.Plan{
+	reps, err := evalPlan(ctx, sweep.Plan{
 		Archs:     []sweep.Arch{sweep.INCAArch()},
 		Networks:  []*nn.Network{nn.ResNet18()},
 		Phases:    []sim.Phase{sim.Training},
 		Overrides: overrides,
 	})
+	if err != nil {
+		return "", err
+	}
 	t := report.New("Extension: INCA batch sweep (ResNet18 training)",
 		"batch", "energy/image (J)", "latency/image (s)")
 	for i, b := range batches {
 		r := reps[i]
 		t.AddRow(b, r.Total.Energy.Total()/float64(b), r.Total.Latency/float64(b))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // Table6 runs the noise-robustness study.
-func Table6() string {
+func Table6(context.Context) (string, error) {
 	rows := train.NoiseAccuracyTable(train.DefaultExperimentConfig(),
 		[]float64{0.005, 0.01, 0.02, 0.03, 0.05})
 	t := report.New("Table VI: training accuracy (%) vs noise strength",
@@ -470,5 +523,5 @@ func Table6() string {
 	for _, r := range rows {
 		t.AddRow(r.Sigma, r.WeightNoise, r.ActivationAcc, r.BaselineNoNoise)
 	}
-	return t.String()
+	return t.String(), nil
 }

@@ -1,6 +1,8 @@
 package suite
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -38,7 +40,10 @@ func TestLightExperimentsProduceOutput(t *testing.T) {
 		if e.Heavy {
 			continue
 		}
-		out := e.Run()
+		out, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
 		if len(out) < 40 {
 			t.Errorf("%s: output suspiciously short: %q", e.ID, out)
 		}
@@ -48,9 +53,23 @@ func TestLightExperimentsProduceOutput(t *testing.T) {
 	}
 }
 
+// TestCancelledContextReturnsError verifies the de-panicked error path: a
+// dead context surfaces as an error from a sweep-backed experiment, not a
+// panic.
+func TestCancelledContextReturnsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig12(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig12(cancelled ctx) err = %v, want context.Canceled", err)
+	}
+}
+
 // TestFig11ContainsAllNetworks spot-checks one report's content.
 func TestFig11ContainsAllNetworks(t *testing.T) {
-	out := Fig11()
+	out, err := Fig11(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, name := range []string{"VGG16", "VGG19", "ResNet18", "ResNet50", "MobileNetV2", "MNasNet"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("Fig11 output missing %s", name)
@@ -62,7 +81,10 @@ func TestFig11ContainsAllNetworks(t *testing.T) {
 }
 
 func TestTable5ContainsTotals(t *testing.T) {
-	out := Table5()
+	out, err := Table5(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"Buffer", "Array", "ADC", "Total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table5 missing %q", want)

@@ -89,6 +89,27 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 	return e.rep, false, e.err
 }
 
+// CacheStats is a point-in-time snapshot of a cache's counters, in the
+// shape the HTTP service's /metrics endpoint exports.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Expired int64 `json:"expired"`
+	Entries int   `json:"entries"`
+}
+
+// Stats snapshots the cache's counters. The counters are read
+// individually, so a snapshot taken during a sweep is approximate (each
+// field is itself exact).
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.Hits(),
+		Misses:  c.Misses(),
+		Expired: c.Expired(),
+		Entries: c.Len(),
+	}
+}
+
 // Hits reports how many Do calls received a result without running eval.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
 
