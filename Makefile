@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-sweep serve-smoke
+.PHONY: check build test vet race bench bench-sweep serve-smoke chaos
 
 check: vet build race
 
@@ -26,6 +26,14 @@ bench:
 # Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
 bench-sweep:
 	$(GO) test -bench PaperSweep -benchtime 10x -run xxx ./internal/sweep/
+
+# Chaos suite: every deterministic fault-injection, retry, drain, and
+# stuck-device test under the race detector. Seeds are fixed in the
+# tests, so a failure here reproduces exactly by rerunning the target.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Retry|Stuck|Readiness|MaxBody|Drain|Backoff|Transient|RetryAfter|Exhausted' \
+		./internal/fault/ ./internal/sweep/ ./internal/serve/ \
+		./internal/client/ ./internal/rram/ ./internal/train/ .
 
 # End-to-end smoke of the HTTP service: boot inca-serve, probe /healthz,
 # evaluate one simulate cell twice (responses must be byte-identical),

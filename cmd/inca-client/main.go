@@ -1,0 +1,154 @@
+// Command inca-client talks to a running inca-serve instance through the
+// retrying HTTP client: transport failures and 5xx answers retry with
+// capped backoff and seeded jitter, Retry-After hints from a saturated
+// server raise the wait floor, and 4xx answers fail immediately.
+//
+// Usage:
+//
+//	inca-client [-base URL] [-attempts N] [-timeout D] <command> [flags]
+//
+// Commands:
+//
+//	simulate  -arch inca -model ResNet18 -phase inference [-batch N]
+//	sweep     -archs inca,baseline -models LeNet5 -phases inference,training
+//	models    list the server's model zoo
+//	metrics   fetch the server's counter snapshot
+//
+// Every command prints the server's JSON answer to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/inca-arch/inca"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("inca-client", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	base := fs.String("base", "http://127.0.0.1:8321", "service base URL")
+	attempts := fs.Int("attempts", 4, "max attempts per request, including the first")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline for the command")
+	baseDelay := fs.Duration("base-delay", 100*time.Millisecond, "backoff before the first retry")
+	maxDelay := fs.Duration("max-delay", 2*time.Second, "backoff growth cap (Retry-After can exceed it)")
+	seed := fs.Int64("seed", 0, "retry-jitter seed (reproducible schedules)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|models|metrics} [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	c, err := inca.NewClient(*base, inca.ClientOptions{
+		MaxAttempts: *attempts,
+		BaseDelay:   *baseDelay,
+		MaxDelay:    *maxDelay,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	var out any
+	switch cmd {
+	case "simulate":
+		out, err = runSimulate(ctx, c, rest, stderr)
+	case "sweep":
+		out, err = runSweep(ctx, c, rest, stderr)
+	case "models":
+		out, err = c.Models(ctx)
+	case "metrics":
+		out, err = c.Metrics(ctx)
+	default:
+		fmt.Fprintf(stderr, "inca-client: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		if errors.Is(err, errUsage) {
+			return 2
+		}
+		fmt.Fprintln(stderr, "inca-client:", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(stderr, "inca-client:", err)
+		return 1
+	}
+	return 0
+}
+
+// errUsage marks flag-parse failures whose message the FlagSet already
+// printed; run maps it to exit code 2 without repeating the error.
+var errUsage = errors.New("usage")
+
+func runSimulate(ctx context.Context, c *inca.Client, args []string, stderr io.Writer) (any, error) {
+	fs := flag.NewFlagSet("inca-client simulate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	arch := fs.String("arch", "inca", "architecture: inca, baseline, or gpu")
+	model := fs.String("model", "ResNet18", "model zoo network name")
+	phase := fs.String("phase", "inference", "inference or training")
+	batch := fs.Int("batch", 0, "batch-size override (0 = architecture default)")
+	if err := fs.Parse(args); err != nil {
+		return nil, errUsage
+	}
+	return c.Simulate(ctx, inca.ServiceSimulateRequest{
+		Arch: *arch, Model: *model, Phase: *phase, Batch: *batch,
+	})
+}
+
+func runSweep(ctx context.Context, c *inca.Client, args []string, stderr io.Writer) (any, error) {
+	fs := flag.NewFlagSet("inca-client sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	archs := fs.String("archs", "inca,baseline", "comma-separated architecture axis")
+	models := fs.String("models", "LeNet5", "comma-separated model axis")
+	phases := fs.String("phases", "inference", "comma-separated phase axis")
+	batch := fs.Int("batch", 0, "batch-size override for every non-fixed arch (0 = defaults)")
+	if err := fs.Parse(args); err != nil {
+		return nil, errUsage
+	}
+	return c.Sweep(ctx, inca.ServiceSweepRequest{
+		Archs:  splitList(*archs),
+		Models: splitList(*models),
+		Phases: splitList(*phases),
+		Batch:  *batch,
+	})
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

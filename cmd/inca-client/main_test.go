@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/inca-arch/inca"
+)
+
+func startService(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(inca.NewServiceHandler(inca.ServiceOptions{}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSimulateCommand(t *testing.T) {
+	ts := startService(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-base", ts.URL, "simulate", "-model", "LeNet5", "-phase", "inference"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d; stderr=%q", code, stderr.String())
+	}
+	var rep inca.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a report: %v\n%s", err, stdout.String())
+	}
+	if rep.Network != "LeNet5" || rep.Arch != "INCA" || rep.Total.Latency <= 0 {
+		t.Fatalf("implausible report: arch=%q network=%q", rep.Arch, rep.Network)
+	}
+}
+
+func TestSweepAndModelsAndMetricsCommands(t *testing.T) {
+	ts := startService(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-base", ts.URL, "sweep", "-archs", "inca,baseline", "-models", "LeNet5", "-phases", "inference"},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("sweep exit = %d; stderr=%q", code, stderr.String())
+	}
+	var resp inca.ServiceSweepResponse
+	if err := json.Unmarshal(stdout.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 2 || resp.Failed != 0 {
+		t.Fatalf("sweep cells=%d failed=%d, want 2/0", len(resp.Cells), resp.Failed)
+	}
+
+	stdout.Reset()
+	if code := run(context.Background(), []string{"-base", ts.URL, "models"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("models exit = %d; stderr=%q", code, stderr.String())
+	}
+	var infos []inca.ServiceModelInfo
+	if err := json.Unmarshal(stdout.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("empty model zoo")
+	}
+
+	stdout.Reset()
+	if code := run(context.Background(), []string{"-base", ts.URL, "metrics"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("metrics exit = %d; stderr=%q", code, stderr.String())
+	}
+	var snap inca.ServiceMetrics
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	// The simulate and sweep requests above are on the same server.
+	if snap.Requests < 2 {
+		t.Fatalf("metrics saw %d requests, want >= 2", snap.Requests)
+	}
+}
+
+func TestServerErrorSurfaces(t *testing.T) {
+	ts := startService(t)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-base", ts.URL, "simulate", "-arch", "tpu"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "400") {
+		t.Fatalf("stderr lost the status: %q", stderr.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no command: exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"teleport"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown command: exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"simulate", "-bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad subcommand flag: exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-base", "not a url", "models"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad base URL: exit = %d, want 1", code)
+	}
+}
+
+func TestCommandTimeout(t *testing.T) {
+	// A dead endpoint with generous attempts must still respect -timeout.
+	var stdout, stderr bytes.Buffer
+	start := time.Now()
+	code := run(context.Background(),
+		[]string{"-base", "http://127.0.0.1:1", "-attempts", "10",
+			"-base-delay", "1s", "-timeout", "200ms", "models"},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("command ignored its 200ms timeout (took %v)", elapsed)
+	}
+}

@@ -9,6 +9,7 @@
 //	inca-serve -addr :8321
 //	inca-serve -inflight 8 -queue 128 -request-timeout 30s
 //	inca-serve -kernels 4          # cap the process-wide tensor budget
+//	inca-serve -chaos-seed 42      # opt-in fault injection (never in production)
 //
 // Endpoints:
 //
@@ -17,7 +18,8 @@
 //	GET  /v1/models              the network zoo
 //	GET  /v1/experiments         experiment index
 //	GET  /v1/experiments/{id}    one paper table/figure
-//	GET  /healthz                liveness
+//	GET  /healthz                liveness (also /healthz/live)
+//	GET  /healthz/ready          readiness — 503 once draining begins
 //	GET  /metrics                counters, queue gauges, cache stats
 package main
 
@@ -53,8 +55,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	reqTimeout := fs.Duration("request-timeout", 60*time.Second, "per-request deadline propagated into the sweep engine")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 responses")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	readinessGrace := fs.Duration("readiness-grace", 0, "keep serving after /healthz/ready flips 503 so load balancers drift away first")
+	maxBody := fs.Int64("max-body", 1<<20, "request-body byte cap; overflow answers 413")
 	kernels := fs.Int("kernels", 0, "process-wide tensor-kernel worker budget (0 = GOMAXPROCS tracking)")
 	quiet := fs.Bool("quiet", false, "suppress access logs")
+	chaosSeed := fs.Int64("chaos-seed", 0, "arm the fault injector with this seed (0 = off; never use in production)")
+	chaosProb := fs.Float64("chaos-prob", 0.1, "per-request probability of each armed chaos fault")
+	chaosLatency := fs.Duration("chaos-latency", 50*time.Millisecond, "injected latency for the chaos latency fault")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,13 +75,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
+	// Chaos mode is strictly opt-in: without -chaos-seed the injector is
+	// nil and the fault paths cost nothing.
+	var inj *inca.FaultInjector
+	if *chaosSeed != 0 {
+		inj = inca.NewFaultInjector(*chaosSeed)
+		inj.Add(inca.FaultRule{Site: inca.ChaosSiteRequest, Kind: inca.FaultError, Prob: *chaosProb})
+		inj.Add(inca.FaultRule{Site: inca.ChaosSiteExec, Kind: inca.FaultLatency, Prob: *chaosProb, Delay: *chaosLatency})
+		logger.Warn("chaos mode armed: requests will randomly fail",
+			"seed", *chaosSeed, "prob", *chaosProb, "latency", chaosLatency.String())
+	}
+
 	svc := inca.NewService(inca.ServiceOptions{
 		MaxInflight:    *inflight,
 		QueueDepth:     *queue,
 		RequestTimeout: *reqTimeout,
 		RetryAfter:     *retryAfter,
 		DrainTimeout:   *drain,
+		ReadinessGrace: *readinessGrace,
+		MaxBodyBytes:   *maxBody,
 		Logger:         logger,
+		Inject:         inj,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

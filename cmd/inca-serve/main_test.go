@@ -94,6 +94,57 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestChaosFlagArmsInjection boots with -chaos-seed and a certain fault
+// probability, asserts the loud warning and that requests actually fail,
+// then drains cleanly.
+func TestChaosFlagArmsInjection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-addr", "127.0.0.1:0",
+			"-chaos-seed", "42", "-chaos-prob", "1"}, &stdout, &stderr)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listeningRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no boot handshake; stderr=%q", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(stderr.String(), "chaos mode armed") {
+		t.Fatalf("no chaos warning in logs: %q", stderr.String())
+	}
+
+	resp, err := http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("certain injected fault answered %d, want 500", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code = %d; stderr=%q", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("chaotic server did not drain")
+	}
+}
+
 // TestBadFlags asserts flag errors exit with the conventional status 2.
 func TestBadFlags(t *testing.T) {
 	var stdout, stderr syncBuffer

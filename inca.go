@@ -29,7 +29,9 @@ import (
 	"github.com/inca-arch/inca/internal/access"
 	"github.com/inca-arch/inca/internal/arch"
 	"github.com/inca-arch/inca/internal/baseline"
+	"github.com/inca-arch/inca/internal/client"
 	"github.com/inca-arch/inca/internal/core"
+	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/data"
 	"github.com/inca-arch/inca/internal/endure"
 	"github.com/inca-arch/inca/internal/gpu"
@@ -559,6 +561,10 @@ type (
 	ServiceSweepRequest = serve.SweepRequest
 	// ServiceSweepResponse is the POST /v1/sweep payload.
 	ServiceSweepResponse = serve.SweepResponse
+	// ServiceModelInfo is one GET /v1/models entry.
+	ServiceModelInfo = serve.ModelInfo
+	// ServiceMetrics is the GET /metrics counter snapshot.
+	ServiceMetrics = serve.Snapshot
 )
 
 // NewService builds the HTTP simulation service. Mount Handler on any
@@ -570,3 +576,85 @@ func NewService(opt ServiceOptions) *Service { return serve.New(opt) }
 // instrumented handler (request IDs, access logs, admission, metrics)
 // with default options plus the given cache and logger taken from opt.
 func NewServiceHandler(opt ServiceOptions) http.Handler { return serve.New(opt).Handler() }
+
+// --- Fault injection and retries (the robustness layer) ---
+
+type (
+	// FaultInjector is a deterministic seeded fault injector: rules keyed
+	// by stable site names fire from per-site PRNG streams, so an injected
+	// failure schedule reproduces exactly across runs and worker counts.
+	// A nil *FaultInjector is inert, making injection free to thread
+	// through production code paths.
+	FaultInjector = fault.Injector
+	// FaultRule arms one fault at a site pattern (trailing '*' matches a
+	// prefix) with a probability, an optional trigger cap, and a payload
+	// (error, panic, latency, or context cancellation).
+	FaultRule = fault.Rule
+	// FaultKind selects a rule's failure mode.
+	FaultKind = fault.Kind
+	// SweepRetryPolicy arms transparent per-cell retries in SweepOptions:
+	// transient cell failures re-evaluate with capped exponential backoff
+	// and seeded jitter before surfacing in a SweepResult.
+	SweepRetryPolicy = sweep.RetryPolicy
+	// StuckFault pins one crossbar cell at LRS (full conductance) or HRS
+	// (zero) through reprogramming — the device-level failure model.
+	StuckFault = rram.StuckFault
+	// StuckFaultRow is one row of the stuck-at accuracy experiment:
+	// training accuracy with a fraction of weight devices dead.
+	StuckFaultRow = train.StuckFaultRow
+	// Client is the retrying HTTP client for the simulation service: it
+	// honors Retry-After, backs off with seeded jitter, respects context
+	// deadlines, and never retries 4xx answers.
+	Client = client.Client
+	// ClientOptions tunes NewClient; the zero value is usable.
+	ClientOptions = client.Options
+	// APIError is a non-2xx answer from the service, carrying the status,
+	// the server's message, and any Retry-After hint.
+	APIError = client.APIError
+)
+
+// Failure modes a FaultRule can inject.
+const (
+	FaultError   = fault.KindError
+	FaultPanic   = fault.KindPanic
+	FaultLatency = fault.KindLatency
+	FaultCancel  = fault.KindCancel
+)
+
+// Chaos-testing fault sites inside the HTTP service (armed via
+// ServiceOptions.Inject; never enabled by default).
+const (
+	ChaosSiteRequest = serve.ChaosSiteRequest
+	ChaosSiteExec    = serve.ChaosSiteExec
+	ChaosSiteCancel  = serve.ChaosSiteCancel
+)
+
+// ErrClientAttemptsExhausted reports a Client call that stayed retryable
+// through every allowed attempt; it wraps the last failure.
+var ErrClientAttemptsExhausted = client.ErrAttemptsExhausted
+
+// NewFaultInjector returns an empty injector whose every probabilistic
+// draw derives from seed. Arm sites with Add; wire it into
+// SweepOptions.Inject or ServiceOptions.Inject.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
+
+// MarkTransient wraps err so IsTransient reports it retryable.
+func MarkTransient(err error) error { return fault.MarkTransient(err) }
+
+// IsTransient reports whether err is worth retrying: explicitly marked
+// errors and 5xx APIErrors are; context errors and 4xx never are. The
+// sweep engine and the HTTP client share this classification.
+func IsTransient(err error) bool { return fault.IsTransient(err) }
+
+// NewClient returns a retrying HTTP client for the service at baseURL.
+func NewClient(baseURL string, opt ClientOptions) (*Client, error) {
+	return client.New(baseURL, opt)
+}
+
+// StuckFaultAccuracy runs the device-failure accuracy experiment: for
+// each rate, a deterministic injector flips that fraction of trained
+// weight devices to stuck-at-LRS/HRS and the row reports the surviving
+// test accuracy against the clean model.
+func StuckFaultAccuracy(cfg ExperimentConfig, rates []float64) []StuckFaultRow {
+	return train.StuckFaultTable(cfg, rates)
+}

@@ -272,3 +272,86 @@ func TestFacadeEndurance(t *testing.T) {
 		t.Fatal("WS training should outlast IS on the same device")
 	}
 }
+
+func TestFacadeFaultInjectionAndRetry(t *testing.T) {
+	// A sweep under 30% injected transient faults completes via retries
+	// with byte-identical results to a fault-free run.
+	lenet, err := Model("LeNet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := SweepPlan{
+		Archs:    []SweepArch{SweepINCA()},
+		Networks: []*Network{lenet},
+		Phases:   []Phase{Inference, Training},
+	}
+	clean, err := RunSweep(context.Background(), plan, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := NewFaultInjector(42)
+	inj.Add(FaultRule{Site: "sweep/cell/*", Kind: FaultError, Prob: 0.3})
+	retried, err := RunSweep(context.Background(), plan, SweepOptions{
+		Inject: inj,
+		Retry:  SweepRetryPolicy{MaxAttempts: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retried) != len(clean) {
+		t.Fatalf("cell counts differ: %d vs %d", len(retried), len(clean))
+	}
+	for i := range retried {
+		if retried[i].Err != nil {
+			t.Fatalf("cell %d failed despite retries: %v", i, retried[i].Err)
+		}
+		if retried[i].Report.Total != clean[i].Report.Total {
+			t.Fatalf("cell %d diverged under injected faults", i)
+		}
+	}
+
+	if !IsTransient(MarkTransient(errors.New("flaky"))) {
+		t.Fatal("MarkTransient/IsTransient disagree")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("unmarked error classified transient")
+	}
+}
+
+func TestFacadeClientConstruction(t *testing.T) {
+	c, err := NewClient("http://127.0.0.1:1", ClientOptions{MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Models(context.Background()); err == nil {
+		t.Fatal("dead endpoint answered")
+	}
+	if _, err := NewClient("not a url", ClientOptions{}); err == nil {
+		t.Fatal("bad base URL accepted")
+	}
+	var apiErr *APIError
+	wrapped := error(&APIError{Status: 503, Message: "saturated"})
+	if !errors.As(wrapped, &apiErr) || !IsTransient(wrapped) {
+		t.Fatal("503 APIError should classify transient")
+	}
+	if IsTransient(&APIError{Status: 400}) {
+		t.Fatal("400 APIError should be terminal")
+	}
+}
+
+func TestFacadeStuckFaultAccuracy(t *testing.T) {
+	cfg := DefaultExperimentConfig()
+	cfg.Data.PerClass = 24
+	cfg.PretrainEpochs = 4
+	rows := StuckFaultAccuracy(cfg, []float64{0, 0.5})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Stuck != 0 || rows[0].Accuracy != rows[0].Clean {
+		t.Fatalf("rate 0 should be the clean model: %+v", rows[0])
+	}
+	if rows[1].Stuck == 0 || rows[1].Accuracy >= rows[1].Clean {
+		t.Fatalf("half-dead devices did not hurt accuracy: %+v", rows[1])
+	}
+}

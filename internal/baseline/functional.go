@@ -14,6 +14,10 @@ type FuncOptions struct {
 	Noise *rram.NoiseModel
 	// Quantize, when non-nil, is the per-column ADC transfer function.
 	Quantize func(float64) float64
+	// Stuck pins crossbar cells at stuck-at-LRS/HRS conductances (indices
+	// into the unrolled [K²C × N] weight matrix, row-major) — the
+	// device-level fault-injection hook.
+	Stuck []rram.StuckFault
 }
 
 // FunctionalConv2D executes a convolution the weight-stationary way: the
@@ -38,6 +42,9 @@ func FunctionalConv2D(x, w *tensor.Tensor, opt FuncOptions) (*tensor.Tensor, rra
 	}
 	if opt.Quantize != nil {
 		xbar.SetQuantizer(opt.Quantize)
+	}
+	if len(opt.Stuck) > 0 {
+		xbar.SetStuckFaults(opt.Stuck)
 	}
 	wm := tensor.New(rows, n)
 	for on := 0; on < n; on++ {

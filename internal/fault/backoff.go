@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with deterministic
+// jitter: attempt n (0-based) waits a uniform draw from [d/2, d) where
+// d = min(Base << n, Max). The jitter stream is seeded, so a retry
+// schedule is reproducible; a Backoff is safe for concurrent use (the
+// sweep engine gives each cell its own, the HTTP client shares one).
+type Backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a backoff schedule. base <= 0 defaults to 1ms;
+// max <= 0 defaults to 30s.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := b.base << uint(attempt)
+	if d <= 0 || d > b.max {
+		d = b.max
+	}
+	b.mu.Lock()
+	f := b.rng.Float64()
+	b.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// Sleep blocks for d or until ctx ends, returning ctx's error in the
+// latter case — the shared ctx-aware wait of every retry loop.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

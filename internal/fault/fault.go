@@ -1,0 +1,347 @@
+// Package fault is the deterministic fault-injection subsystem behind
+// the repo's robustness layer. An Injector holds a set of composable
+// rules — injected errors, panics, added latency, and mid-operation
+// context cancellation — keyed by stable site names ("sweep/cell/<key>",
+// "serve/request", ...) and driven by seeded per-site PRNG streams, so a
+// chaos run is reproducible: the same seed and the same per-site call
+// sequence trigger the same faults, independent of how unrelated sites
+// interleave across goroutines.
+//
+// The package also defines the transient/terminal error vocabulary the
+// retry layers share: MarkTransient wraps an error as retryable and
+// IsTransient classifies one, so the sweep engine and the HTTP client
+// agree on what is worth retrying.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error the injector fabricates. The
+// concrete errors wrap it (and are marked transient unless the rule
+// supplies its own error), so callers test with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// Kind selects what a rule does when it fires.
+type Kind int
+
+const (
+	// KindError makes Hit return the rule's error (ErrInjected, marked
+	// transient, when the rule does not supply one).
+	KindError Kind = iota
+	// KindPanic makes Hit panic with a descriptive value — exercising the
+	// caller's recovery path exactly like a real programming error.
+	KindPanic
+	// KindLatency makes Hit sleep for the rule's Delay (bounded by the
+	// context) before returning nil — a slow dependency, not a failed one.
+	KindLatency
+	// KindCancel is enacted only by CancelAfter: the derived context is
+	// cancelled Delay after the hit — an abandonment mid-operation.
+	KindCancel
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindLatency:
+		return "latency"
+	case KindCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rule is one composable fault point. The zero Prob means "always": a
+// Rule{Site: s, Kind: KindError} fires on every hit of s.
+type Rule struct {
+	// Site names the fault point the rule arms. A trailing '*' is a
+	// prefix wildcard: "sweep/cell/*" matches every cell site. Each
+	// concrete site still draws from its own PRNG stream, so wildcard
+	// rules stay reproducible per site.
+	Site string
+	Kind Kind
+	// Prob is the per-hit trigger probability in (0, 1); values <= 0 or
+	// >= 1 mean the rule fires on every hit.
+	Prob float64
+	// Max bounds how many times the rule fires across all matching sites;
+	// 0 means unlimited.
+	Max int
+	// Err overrides the injected error for KindError rules. nil injects
+	// ErrInjected marked transient.
+	Err error
+	// Delay is the added latency for KindLatency rules and the
+	// hit-to-cancellation delay for KindCancel rules.
+	Delay time.Duration
+}
+
+// Injector is a seeded set of fault rules. The zero value and the nil
+// pointer are both inert: every method on a nil *Injector is a cheap
+// no-op, so integration points pay nothing when chaos is off.
+type Injector struct {
+	seed int64
+
+	mu        sync.Mutex
+	rules     []*armedRule
+	hits      map[string]int64
+	triggered map[string]int64
+}
+
+// armedRule pairs a rule with its per-site PRNG streams and fire count.
+type armedRule struct {
+	Rule
+	index   int
+	fired   int
+	streams map[string]*rand.Rand
+}
+
+// New returns an empty injector whose per-site streams derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:      seed,
+		hits:      make(map[string]int64),
+		triggered: make(map[string]int64),
+	}
+}
+
+// Add arms one rule. Rules are evaluated in Add order on every hit.
+func (i *Injector) Add(r Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = append(i.rules, &armedRule{Rule: r, index: len(i.rules), streams: make(map[string]*rand.Rand)})
+}
+
+// matches reports whether the rule arms this concrete site.
+func (r *armedRule) matches(site string) bool {
+	if p, ok := strings.CutSuffix(r.Site, "*"); ok {
+		return strings.HasPrefix(site, p)
+	}
+	return r.Site == site
+}
+
+// stream returns the rule's PRNG stream for one concrete site, creating
+// it deterministically from (seed, rule index, site) on first use.
+func (i *Injector) stream(r *armedRule, site string) *rand.Rand {
+	s, ok := r.streams[site]
+	if !ok {
+		s = rand.New(rand.NewSource(subSeed(i.seed, fmt.Sprintf("rule/%d/%s", r.index, site))))
+		r.streams[site] = s
+	}
+	return s
+}
+
+// fires draws the rule's trigger decision for one hit of site. Must hold
+// i.mu: the draw advances the per-site stream.
+func (i *Injector) fires(r *armedRule, site string) bool {
+	if r.Max > 0 && r.fired >= r.Max {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 && i.stream(r, site).Float64() >= r.Prob {
+		return false
+	}
+	r.fired++
+	i.triggered[site]++
+	return true
+}
+
+// Hit evaluates site's armed rules (KindCancel excluded — see
+// CancelAfter) and enacts what fires: the latencies of every firing
+// KindLatency rule are slept first (bounded by ctx), then the first
+// firing KindPanic rule panics, then the first firing KindError rule's
+// error is returned. A nil injector, an unmatched site, and a hit where
+// nothing fires all return nil.
+func (i *Injector) Hit(ctx context.Context, site string) error {
+	if i == nil {
+		return nil
+	}
+	var (
+		sleep    time.Duration
+		panicHit bool
+		injected error
+	)
+	i.mu.Lock()
+	i.hits[site]++
+	for _, r := range i.rules {
+		if r.Kind == KindCancel || !r.matches(site) {
+			continue
+		}
+		if !i.fires(r, site) {
+			continue
+		}
+		switch r.Kind {
+		case KindLatency:
+			sleep += r.Delay
+		case KindPanic:
+			if injected == nil {
+				panicHit = true
+			}
+		case KindError:
+			if injected == nil && !panicHit {
+				injected = r.Err
+				if injected == nil {
+					injected = MarkTransient(fmt.Errorf("%w at %s", ErrInjected, site))
+				}
+			}
+		}
+	}
+	i.mu.Unlock()
+
+	if sleep > 0 {
+		t := time.NewTimer(sleep)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if panicHit {
+		panic(fmt.Sprintf("fault: injected panic at %s", site))
+	}
+	return injected
+}
+
+// CancelAfter evaluates site's KindCancel rules. When one fires it
+// returns a context derived from ctx that is cancelled the rule's Delay
+// later — a request abandoned mid-flight. The returned CancelFunc must
+// always be called (it releases the timer); when nothing fires it is a
+// no-op and ctx is returned unchanged.
+func (i *Injector) CancelAfter(ctx context.Context, site string) (context.Context, context.CancelFunc) {
+	if i == nil {
+		return ctx, func() {}
+	}
+	var delay time.Duration
+	fired := false
+	i.mu.Lock()
+	i.hits[site]++
+	for _, r := range i.rules {
+		if r.Kind != KindCancel || !r.matches(site) {
+			continue
+		}
+		if i.fires(r, site) && !fired {
+			fired, delay = true, r.Delay
+		}
+	}
+	i.mu.Unlock()
+	if !fired {
+		return ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	timer := time.AfterFunc(delay, cancel)
+	return ctx, func() {
+		timer.Stop()
+		cancel()
+	}
+}
+
+// StuckCell is one device-level stuck-at fault: a crossbar cell pinned
+// at LRS (low-resistance, full-scale conductance) or HRS (high-
+// resistance, zero conductance).
+type StuckCell struct {
+	Index int
+	LRS   bool
+}
+
+// StuckCells deterministically selects stuck-at faults for an array of
+// the given cell count: each cell fails independently with probability
+// rate, and a failed cell is stuck at LRS or HRS with equal odds. The
+// selection derives from (seed, site) only — it does not consume the
+// rule streams — so a given site faults the same cells on every run.
+func (i *Injector) StuckCells(site string, cells int, rate float64) []StuckCell {
+	if i == nil || rate <= 0 || cells <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(subSeed(i.seed, "stuck/"+site)))
+	var out []StuckCell
+	for c := 0; c < cells; c++ {
+		if rng.Float64() < rate {
+			out = append(out, StuckCell{Index: c, LRS: rng.Intn(2) == 0})
+		}
+	}
+	return out
+}
+
+// Hits reports how many times site was consulted (Hit or CancelAfter).
+func (i *Injector) Hits(site string) int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits[site]
+}
+
+// Triggered reports how many rule firings site has seen.
+func (i *Injector) Triggered(site string) int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.triggered[site]
+}
+
+// TriggeredTotal sums rule firings across all sites.
+func (i *Injector) TriggeredTotal() int64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var n int64
+	for _, v := range i.triggered {
+		n += v
+	}
+	return n
+}
+
+// subSeed derives a child seed from the injector seed and a label.
+func subSeed(seed int64, label string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, label)
+	return int64(h.Sum64())
+}
+
+// transientError marks its cause as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient is the marker interface the classifier honors; any error
+// whose chain implements it with a true return is retryable.
+type Transient interface{ Transient() bool }
+
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true for it (and for
+// anything wrapping it). A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies an error as retryable: something in its chain
+// was marked transient (or implements Transient() true) and it is not a
+// context error — cancelled and timed-out work must not be retried, the
+// deadline is already gone.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t Transient
+	return errors.As(err, &t) && t.Transient()
+}

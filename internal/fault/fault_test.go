@@ -1,0 +1,285 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitErrorRuleDeterministic(t *testing.T) {
+	draw := func() []bool {
+		inj := New(11)
+		inj.Add(Rule{Site: "site/a", Kind: KindError, Prob: 0.5})
+		var fired []bool
+		for n := 0; n < 64; n++ {
+			err := inj.Hit(context.Background(), "site/a")
+			fired = append(fired, err != nil)
+			if err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("injected error %v does not wrap ErrInjected", err)
+				}
+				if !IsTransient(err) {
+					t.Fatalf("default injected error %v is not transient", err)
+				}
+			}
+		}
+		return fired
+	}
+	a, b := draw(), draw()
+	some := false
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("hit %d differs across identically-seeded runs", n)
+		}
+		some = some || a[n]
+	}
+	if !some {
+		t.Fatal("probability-0.5 rule never fired in 64 hits")
+	}
+}
+
+func TestSiteStreamsAreIndependent(t *testing.T) {
+	// Interleaving hits of site/b must not disturb site/a's sequence:
+	// per-site streams make wildcard rules reproducible under concurrency.
+	seq := func(noise bool) []bool {
+		inj := New(3)
+		inj.Add(Rule{Site: "cell/*", Kind: KindError, Prob: 0.4})
+		var fired []bool
+		for n := 0; n < 32; n++ {
+			if noise {
+				inj.Hit(context.Background(), "cell/b")
+				inj.Hit(context.Background(), "cell/c")
+			}
+			fired = append(fired, inj.Hit(context.Background(), "cell/a") != nil)
+		}
+		return fired
+	}
+	clean, noisy := seq(false), seq(true)
+	for n := range clean {
+		if clean[n] != noisy[n] {
+			t.Fatalf("site/a draw %d changed when other sites interleaved", n)
+		}
+	}
+}
+
+func TestRuleMaxBoundsFirings(t *testing.T) {
+	inj := New(1)
+	inj.Add(Rule{Site: "s", Kind: KindError, Max: 2})
+	fired := 0
+	for n := 0; n < 10; n++ {
+		if inj.Hit(context.Background(), "s") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("Max:2 rule fired %d times", fired)
+	}
+	if got := inj.Triggered("s"); got != 2 {
+		t.Fatalf("Triggered = %d, want 2", got)
+	}
+	if got := inj.Hits("s"); got != 10 {
+		t.Fatalf("Hits = %d, want 10", got)
+	}
+}
+
+func TestPanicAndLatencyKinds(t *testing.T) {
+	inj := New(5)
+	inj.Add(Rule{Site: "slow", Kind: KindLatency, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Hit(context.Background(), "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency rule slept only %v", d)
+	}
+
+	// Injected latency is bounded by the context.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	inj2 := New(5)
+	inj2.Add(Rule{Site: "slow", Kind: KindLatency, Delay: time.Minute})
+	if err := inj2.Hit(ctx, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx-bounded latency returned %v", err)
+	}
+
+	inj3 := New(5)
+	inj3.Add(Rule{Site: "boom", Kind: KindPanic})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic rule did not panic")
+			}
+		}()
+		inj3.Hit(context.Background(), "boom")
+	}()
+}
+
+func TestCancelAfter(t *testing.T) {
+	inj := New(7)
+	inj.Add(Rule{Site: "req", Kind: KindCancel, Delay: 10 * time.Millisecond})
+	ctx, cancel := inj.CancelAfter(context.Background(), "req")
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel rule never cancelled the derived context")
+	}
+
+	// No firing rule → same context back, usable cancel.
+	base := context.Background()
+	got, cancel2 := inj.CancelAfter(base, "other-site")
+	defer cancel2()
+	if got != base {
+		t.Fatal("unmatched site should return ctx unchanged")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hit(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := inj.CancelAfter(context.Background(), "x")
+	cancel()
+	if ctx.Err() != nil {
+		t.Fatal("nil injector cancelled the context")
+	}
+	if cells := inj.StuckCells("x", 100, 0.5); cells != nil {
+		t.Fatal("nil injector selected stuck cells")
+	}
+	if inj.Hits("x") != 0 || inj.Triggered("x") != 0 || inj.TriggeredTotal() != 0 {
+		t.Fatal("nil injector reported counters")
+	}
+}
+
+func TestStuckCellsDeterministicAndRateProportional(t *testing.T) {
+	inj := New(99)
+	a := inj.StuckCells("xbar/0", 10000, 0.1)
+	b := New(99).StuckCells("xbar/0", 10000, 0.1)
+	if len(a) != len(b) {
+		t.Fatalf("selection size differs: %d vs %d", len(a), len(b))
+	}
+	lrs := 0
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("stuck cell %d differs across identically-seeded injectors", n)
+		}
+		if a[n].Index < 0 || a[n].Index >= 10000 {
+			t.Fatalf("index %d out of range", a[n].Index)
+		}
+		if a[n].LRS {
+			lrs++
+		}
+	}
+	if len(a) < 800 || len(a) > 1200 {
+		t.Fatalf("rate 0.1 selected %d of 10000 cells", len(a))
+	}
+	if lrs < len(a)/3 || lrs > 2*len(a)/3 {
+		t.Fatalf("LRS/HRS split is skewed: %d of %d", lrs, len(a))
+	}
+	if other := inj.StuckCells("xbar/1", 10000, 0.1); len(other) > 0 && other[0] == a[0] && other[len(other)-1] == a[len(a)-1] && len(other) == len(a) {
+		t.Fatal("distinct sites produced the identical selection")
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("flaky device")
+	if !IsTransient(MarkTransient(base)) {
+		t.Fatal("marked error not classified transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", MarkTransient(base))) {
+		t.Fatal("wrapping must preserve transience")
+	}
+	if IsTransient(base) {
+		t.Fatal("unmarked error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil classified transient")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) != nil")
+	}
+	// Context errors are terminal even when marked: the deadline is gone.
+	if IsTransient(MarkTransient(context.Canceled)) {
+		t.Fatal("cancelled work must not be retried")
+	}
+	if IsTransient(fmt.Errorf("%w: %w", MarkTransient(errors.New("x")), context.DeadlineExceeded)) {
+		t.Fatal("deadline-exceeded work must not be retried")
+	}
+}
+
+func TestBackoffDeterministicCappedJittered(t *testing.T) {
+	a, b := NewBackoff(time.Millisecond, 8*time.Millisecond, 42), NewBackoff(time.Millisecond, 8*time.Millisecond, 42)
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: identically-seeded delays differ (%v vs %v)", attempt, da, db)
+		}
+		cap := time.Millisecond << uint(min(attempt, 3))
+		if da < cap/2 || da >= cap {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, da, cap/2, cap)
+		}
+	}
+	// Deep attempts must not overflow.
+	if d := a.Delay(300); d <= 0 || d > 8*time.Millisecond {
+		t.Fatalf("deep attempt delay %v", d)
+	}
+}
+
+func TestBackoffConcurrentUse(t *testing.T) {
+	b := NewBackoff(time.Microsecond, time.Millisecond, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 100; n++ {
+				if d := b.Delay(n % 12); d <= 0 {
+					t.Error("non-positive delay")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on dead ctx = %v", err)
+	}
+}
+
+func TestConcurrentHitsAreRaceFree(t *testing.T) {
+	inj := New(2)
+	inj.Add(Rule{Site: "p/*", Kind: KindError, Prob: 0.3})
+	inj.Add(Rule{Site: "p/*", Kind: KindLatency, Prob: 0.1, Delay: time.Microsecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			site := fmt.Sprintf("p/%d", g)
+			for n := 0; n < 200; n++ {
+				inj.Hit(context.Background(), site)
+			}
+		}()
+	}
+	wg.Wait()
+	var hits int64
+	for g := 0; g < 8; g++ {
+		hits += inj.Hits(fmt.Sprintf("p/%d", g))
+	}
+	if hits != 1600 {
+		t.Fatalf("hits = %d, want 1600", hits)
+	}
+}

@@ -36,7 +36,17 @@ type Crossbar struct {
 	cells      []float64 // rows × cols, row-major
 	noise      *NoiseModel
 	quantize   func(float64) float64
+	stuck      []StuckFault
 	stats      Stats
+}
+
+// StuckFault pins one cell (row-major index) at a terminal conductance:
+// stuck-at-LRS reads as the array's full-scale value, stuck-at-HRS as
+// zero. These model formed-but-dead RRAM devices — reprogramming cannot
+// heal them, so the fault is re-applied after every Program.
+type StuckFault struct {
+	Index int
+	LRS   bool
 }
 
 // NewCrossbar builds an empty rows×cols crossbar.
@@ -55,6 +65,46 @@ func (c *Crossbar) SetNoise(n *NoiseModel) { c.noise = n }
 // output. Nil means an ideal converter.
 func (c *Crossbar) SetQuantizer(q func(float64) float64) { c.quantize = q }
 
+// SetStuckFaults pins cells at stuck-at-LRS/HRS conductances (the
+// fault.Injector's device-level hook selects them; any caller may supply
+// its own set). The faults apply immediately — at the array's current
+// full-scale value — and are re-applied after every Program, because a
+// dead device ignores write pulses. Out-of-range indices panic.
+func (c *Crossbar) SetStuckFaults(faults []StuckFault) {
+	for _, f := range faults {
+		if f.Index < 0 || f.Index >= len(c.cells) {
+			panic(fmt.Sprintf("rram: stuck fault index %d outside %d-cell array", f.Index, len(c.cells)))
+		}
+	}
+	c.stuck = append(c.stuck[:0:0], faults...)
+	scale := 0.0
+	for _, v := range c.cells {
+		if a := abs(v); a > scale {
+			scale = a
+		}
+	}
+	c.applyStuck(scale)
+}
+
+// applyStuck overwrites every stuck cell with its terminal conductance:
+// LRS reads full-scale, HRS reads zero.
+func (c *Crossbar) applyStuck(scale float64) {
+	for _, f := range c.stuck {
+		if f.LRS {
+			c.cells[f.Index] = scale
+		} else {
+			c.cells[f.Index] = 0
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // Program writes the weight matrix w [rows, cols] into the array. The
 // optional noise model perturbs each stored value, emulating nonideal
 // programming.
@@ -69,6 +119,7 @@ func (c *Crossbar) Program(w *tensor.Tensor) {
 		}
 		c.cells[i] = v
 	}
+	c.applyStuck(scale)
 	c.stats.CellWrites += int64(len(c.cells))
 }
 

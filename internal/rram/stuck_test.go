@@ -1,0 +1,51 @@
+package rram
+
+import (
+	"testing"
+
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+func TestStuckFaultsPinCellsThroughReprogramming(t *testing.T) {
+	xb := NewCrossbar(2, 2)
+	w := tensor.New(2, 2)
+	copy(w.Data(), []float64{0.5, -1.0, 0.25, 0.75})
+	xb.Program(w)
+
+	// Cell 1 dies at HRS, cell 2 at LRS.
+	xb.SetStuckFaults([]StuckFault{{Index: 1, LRS: false}, {Index: 2, LRS: true}})
+
+	x := tensor.New(2)
+	copy(x.Data(), []float64{1, 1})
+	out := xb.MVM(x)
+	// Column 0 = w[0][0] + stuck-LRS(=scale 1.0) = 0.5 + 1.0;
+	// column 1 = stuck-HRS(0) + w[1][1] = 0.75.
+	if got := out.Data()[0]; got != 1.5 {
+		t.Fatalf("col 0 = %v, want 1.5 (stuck-at-LRS reads full-scale)", got)
+	}
+	if got := out.Data()[1]; got != 0.75 {
+		t.Fatalf("col 1 = %v, want 0.75 (stuck-at-HRS reads zero)", got)
+	}
+
+	// Reprogramming cannot heal a dead device: the faults re-apply.
+	w2 := tensor.New(2, 2)
+	copy(w2.Data(), []float64{2, 2, 2, 2})
+	xb.Program(w2)
+	out = xb.MVM(x)
+	if got := out.Data()[0]; got != 4 { // 2 + stuck-LRS(scale 2)
+		t.Fatalf("after reprogram col 0 = %v, want 4", got)
+	}
+	if got := out.Data()[1]; got != 2 { // stuck-HRS(0) + 2
+		t.Fatalf("after reprogram col 1 = %v, want 2", got)
+	}
+}
+
+func TestStuckFaultsValidateIndices(t *testing.T) {
+	xb := NewCrossbar(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range stuck fault did not panic")
+		}
+	}()
+	xb.SetStuckFaults([]StuckFault{{Index: 4}})
+}

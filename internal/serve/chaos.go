@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"net/http"
+)
+
+// The serve layer's fault-injection sites. A fault.Injector handed to
+// Options.Inject arms rules against these names; with no injector the
+// chaos path costs nothing.
+const (
+	// ChaosSiteRequest is hit once per request before routing: error
+	// rules fail the request with 500, panic rules exercise the recovery
+	// middleware, latency rules slow the whole exchange.
+	ChaosSiteRequest = "serve/request"
+	// ChaosSiteExec is hit inside the admitted section while the request
+	// holds an execution slot: latency rules model slow handlers (and
+	// genuinely saturate admission), error rules fail execution.
+	ChaosSiteExec = "serve/exec"
+	// ChaosSiteCancel is consulted once per request; a firing cancel rule
+	// cancels the request's context the rule's Delay later — a client
+	// abandoning mid-flight.
+	ChaosSiteCancel = "serve/cancel"
+)
+
+// chaos wraps the route mux with the fault-injecting middleware. It sits
+// inside instrument, so injected panics hit the same recovery path and
+// injected failures are metered and logged like real ones. With no
+// injector configured it is the identity — chaos is never on by default.
+func (s *Server) chaos(next http.Handler) http.Handler {
+	inj := s.opt.Inject
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := inj.CancelAfter(r.Context(), ChaosSiteCancel)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if err := inj.Hit(ctx, ChaosSiteRequest); err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

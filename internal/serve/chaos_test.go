@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/inca-arch/inca/internal/fault"
+)
+
+// TestChaosHammerKeepsInvariants is the serve-layer acceptance run: a
+// fixed-seed injector arms panics, errors, latency, and mid-request
+// cancellations across the chaos sites, a concurrent hammer drives every
+// fault path, and the admission/metrics invariants must survive — no
+// request hangs past its deadline, the counters stay consistent, and the
+// pool fully drains.
+func TestChaosHammerKeepsInvariants(t *testing.T) {
+	inj := fault.New(2024)
+	inj.Add(fault.Rule{Site: ChaosSiteRequest, Kind: fault.KindPanic, Prob: 0.1})
+	inj.Add(fault.Rule{Site: ChaosSiteRequest, Kind: fault.KindError, Prob: 0.1})
+	inj.Add(fault.Rule{Site: ChaosSiteRequest, Kind: fault.KindLatency, Prob: 0.2, Delay: 5 * time.Millisecond})
+	inj.Add(fault.Rule{Site: ChaosSiteExec, Kind: fault.KindLatency, Prob: 0.2, Delay: 10 * time.Millisecond})
+	inj.Add(fault.Rule{Site: ChaosSiteCancel, Kind: fault.KindCancel, Prob: 0.1, Delay: time.Millisecond})
+
+	s, ts := newTestServer(t, Options{
+		MaxInflight:    4,
+		QueueDepth:     64,
+		RequestTimeout: 5 * time.Second,
+		Inject:         inj,
+	})
+
+	const (
+		n        = 64
+		deadline = 15 * time.Second
+	)
+	client := &http.Client{Timeout: deadline}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			var resp *http.Response
+			var err error
+			if i%4 == 0 {
+				resp, err = client.Get(ts.URL + "/metrics")
+			} else {
+				resp, err = client.Post(ts.URL+"/v1/simulate", "application/json",
+					strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+			}
+			if err != nil {
+				// A chaos-cancelled request may die mid-flight; that is the
+				// injected behavior, not a hang — but it must die promptly.
+				if time.Since(start) >= deadline {
+					errs <- fmt.Errorf("request %d hung past its deadline: %v", i, err)
+				}
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusInternalServerError,
+				http.StatusGatewayTimeout, http.StatusServiceUnavailable:
+			default:
+				errs <- fmt.Errorf("request %d: unexpected status %d: %.200s", i, resp.StatusCode, buf.Bytes())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if inj.TriggeredTotal() == 0 {
+		t.Fatal("chaos run triggered no faults; the hammer proved nothing")
+	}
+
+	// Metrics invariants: every received request was observed exactly
+	// once, with a status class, and the admission pool fully drained.
+	// A client can finish reading a response a beat before the server's
+	// metrics defer runs, so poll briefly for the counters to settle.
+	var snap Snapshot
+	settleBy := time.Now().Add(2 * time.Second)
+	for {
+		snap = s.snapshot()
+		byClass := snap.Status2xx + snap.Status4xx + snap.Status5xx
+		var bktSum int64
+		for _, c := range snap.Latency.Counts {
+			bktSum += c
+		}
+		if snap.Inflight == 0 && snap.Queued == 0 &&
+			snap.Requests == byClass && snap.Latency.Count == snap.Requests &&
+			bktSum == snap.Latency.Count {
+			break
+		}
+		if time.Now().After(settleBy) {
+			t.Fatalf("metrics never settled consistent: requests=%d classes=%d latency=%d buckets=%d inflight=%d queued=%d",
+				snap.Requests, byClass, snap.Latency.Count, bktSum, snap.Inflight, snap.Queued)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The same seed injects the same schedule: a second identically-built
+	// injector serving the same per-site hit sequence agrees on the first
+	// decisions (reproducibility spot check on a single-site sequence).
+	a, b := fault.New(2024), fault.New(2024)
+	for _, in := range []*fault.Injector{a, b} {
+		in.Add(fault.Rule{Site: ChaosSiteRequest, Kind: fault.KindError, Prob: 0.1})
+	}
+	for i := 0; i < 32; i++ {
+		ea := a.Hit(context.Background(), ChaosSiteRequest)
+		eb := b.Hit(context.Background(), ChaosSiteRequest)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("hit %d: identically-seeded injectors disagree", i)
+		}
+	}
+}
+
+// TestChaosGracefulDrainCompletes: with chaos armed, a graceful drain
+// still finishes — in-flight (slow, injected-latency) requests complete
+// and Serve returns nil.
+func TestChaosGracefulDrainCompletes(t *testing.T) {
+	inj := fault.New(9)
+	inj.Add(fault.Rule{Site: ChaosSiteExec, Kind: fault.KindLatency, Delay: 100 * time.Millisecond})
+
+	s := New(Options{DrainTimeout: 10 * time.Second, Inject: inj})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		inflight <- result{status: resp.StatusCode}
+	}()
+
+	time.Sleep(30 * time.Millisecond) // request is inside the injected latency
+	cancel()
+
+	res := <-inflight
+	if res.err != nil {
+		t.Fatalf("in-flight chaos request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("drained chaos request: status %d", res.status)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after chaos drain", err)
+	}
+}
+
+// TestReadinessFlipsDuringDrain: once a graceful drain begins, readiness
+// answers 503 (with Retry-After) inside the grace window while liveness
+// stays 200; before the drain both answer 200.
+func TestReadinessFlipsDuringDrain(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	testHookAdmitted = func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+	defer func() { testHookAdmitted = nil }()
+
+	s := New(Options{DrainTimeout: 10 * time.Second, ReadinessGrace: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	probe := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("probing %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Retry-After")
+	}
+
+	if code, _ := probe("/healthz/ready"); code != http.StatusOK {
+		t.Fatalf("ready before drain: %d", code)
+	}
+	if code, _ := probe("/healthz/live"); code != http.StatusOK {
+		t.Fatalf("live before drain: %d", code)
+	}
+
+	// Pin a request in flight, then start the drain.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"arch":"inca","model":"LeNet5","phase":"inference"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+		inflight <- err
+	}()
+	<-entered
+	cancel()
+
+	// Inside the grace window the listener still answers: readiness must
+	// say 503, liveness and /healthz must stay 200.
+	var readyCode int
+	var retryAfter string
+	deadline := time.Now().Add(time.Second)
+	for {
+		readyCode, retryAfter = probe("/healthz/ready")
+		if readyCode == http.StatusServiceUnavailable || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if readyCode != http.StatusServiceUnavailable {
+		t.Fatalf("readiness during drain = %d, want 503", readyCode)
+	}
+	if retryAfter == "" {
+		t.Fatal("draining readiness answer carries no Retry-After")
+	}
+	if code, _ := probe("/healthz/live"); code != http.StatusOK {
+		t.Fatalf("liveness during drain = %d, want 200", code)
+	}
+	if code, _ := probe("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", code)
+	}
+
+	close(release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("pinned request failed during drain: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after drain with readiness grace", err)
+	}
+}
+
+// TestMaxBodyBytesOverflowIs413: an oversized request body answers 413
+// with the uniform JSON error payload; a body under the bound passes.
+func TestMaxBodyBytesOverflowIs413(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxBodyBytes: 256})
+
+	big := `{"arch":"inca","model":"LeNet5","phase":"inference","config":null,` +
+		`"batch":0` + strings.Repeat(" ", 512) + `}`
+	resp := post(t, ts.URL+"/v1/simulate", big, nil)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body is not the JSON error payload: %s", body)
+	}
+	if !strings.Contains(e.Error, "256") {
+		t.Fatalf("413 error does not state the limit: %s", e.Error)
+	}
+
+	resp = post(t, ts.URL+"/v1/sweep", `{"models":["`+strings.Repeat("m", 1024)+`"]}`, nil)
+	if readAll(t, resp); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized sweep body: status %d, want 413", resp.StatusCode)
+	}
+
+	resp = post(t, ts.URL+"/v1/simulate", `{"arch":"inca","model":"LeNet5","phase":"inference"}`, nil)
+	if readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body under the bound: status %d, want 200", resp.StatusCode)
+	}
+}

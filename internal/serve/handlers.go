@@ -15,18 +15,28 @@ import (
 	"github.com/inca-arch/inca/internal/sweep"
 )
 
-// maxBodyBytes bounds request bodies; the largest legitimate payload (a
-// full custom arch.Config inside a sweep request) is a few KB.
-const maxBodyBytes = 1 << 20
-
-// decodeBody parses a JSON request body strictly.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// decodeBody parses a JSON request body strictly, bounded at the
+// configured MaxBodyBytes.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("decoding request: %w", err)
 	}
 	return nil
+}
+
+// writeDecodeError maps a body-decoding failure onto its status: an
+// oversized body is 413 (the MaxBytesReader tripped), anything else is a
+// malformed request.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err)
 }
 
 // testHookAdmitted, when non-nil, runs inside the admitted section of
@@ -48,6 +58,12 @@ func (s *Server) admitted(w http.ResponseWriter, r *http.Request, run func(ctx c
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
 	defer cancel()
+	// Chaos hook: exec-site faults run while the request holds its
+	// execution slot, so injected latency genuinely saturates admission.
+	if err := s.opt.Inject.Hit(ctx, ChaosSiteExec); err != nil {
+		s.writeError(w, statusForRunErr(err), err)
+		return
+	}
 	run(ctx)
 }
 
@@ -70,8 +86,8 @@ func statusForRunErr(err error) int {
 // stable encoding; Accept: text/csv negotiates the per-layer CSV trace.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeDecodeError(w, err)
 		return
 	}
 	net, err := nn.ByName(req.Model)
@@ -116,8 +132,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // invalid plan or an exhausted deadline fails the whole request.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeDecodeError(w, err)
 		return
 	}
 	var archs []sweep.Arch
@@ -287,8 +303,23 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz is the liveness probe: the process is up and routing.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleLiveness is the liveness probe (/healthz and /healthz/live):
+// the process is up and routing. It stays 200 through a graceful drain —
+// a draining server is shutting down cleanly, not dead, and must not be
+// restarted by its supervisor mid-drain.
+func (s *Server) handleLiveness(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadiness is the readiness probe (/healthz/ready): 200 while the
+// server accepts traffic, 503 + Retry-After once a graceful drain has
+// begun, so load balancers stop routing before connections are refused.
+func (s *Server) handleReadiness(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		s.writeUnavailable(w, errors.New("draining: server is shutting down"))
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }

@@ -29,8 +29,10 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 )
@@ -54,6 +56,22 @@ type Options struct {
 	// DrainTimeout bounds graceful shutdown: how long Serve waits for
 	// in-flight requests after its context ends; <= 0 means 15s.
 	DrainTimeout time.Duration
+	// ReadinessGrace keeps the listener open that long after readiness
+	// flips to 503 at the start of a drain, so load balancers polling
+	// /healthz/ready observe the not-ready answer and stop routing before
+	// connections are refused; <= 0 means no grace window.
+	ReadinessGrace time.Duration
+	// MaxBodyBytes bounds request bodies (http.MaxBytesReader); overflow
+	// answers 413 with a JSON error. <= 0 means 1 MiB — the largest
+	// legitimate payload (a full custom arch.Config inside a sweep
+	// request) is a few KB.
+	MaxBodyBytes int64
+	// Inject, when non-nil, arms the chaos middleware: fault rules at the
+	// ChaosSite* sites inject errors, panics, latency, and mid-request
+	// cancellations into the request path. Never set in production — this
+	// exists for chaos tests and the explicit opt-in flag in
+	// cmd/inca-serve.
+	Inject *fault.Injector
 	// Cache memoizes simulation cells across requests. nil gives the
 	// server a private cache.
 	Cache *sweep.Cache
@@ -82,6 +100,9 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 15 * time.Second
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
 	if o.Cache == nil {
 		o.Cache = sweep.NewCache()
 	}
@@ -100,6 +121,9 @@ type Server struct {
 	admit   *admission
 	metrics *Metrics
 	handler http.Handler
+	// ready gates the readiness probe: true from construction until a
+	// graceful drain begins. Liveness is unconditional.
+	ready atomic.Bool
 }
 
 // New builds a Server from options (see Options for the defaults).
@@ -118,9 +142,12 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleLiveness)
+	mux.HandleFunc("GET /healthz/live", s.handleLiveness)
+	mux.HandleFunc("GET /healthz/ready", s.handleReadiness)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.handler = s.instrument(mux)
+	s.handler = s.instrument(s.chaos(mux))
+	s.ready.Store(true)
 	return s
 }
 
@@ -148,7 +175,9 @@ func (s *Server) requestWorkers() int {
 }
 
 // Serve accepts connections on ln until ctx ends, then shuts down
-// gracefully: no new connections, in-flight requests drain for up to
+// gracefully: readiness flips to 503 first (and, with ReadinessGrace
+// set, the listener stays open that long so balancers observe it), then
+// no new connections, and in-flight requests drain for up to
 // DrainTimeout. It returns nil after a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{
@@ -166,7 +195,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err // listener failed before shutdown was requested
 	case <-ctx.Done():
 	}
-	s.log.Info("shutting down", "drain_timeout", s.opt.DrainTimeout.String())
+	s.ready.Store(false)
+	s.log.Info("shutting down",
+		"readiness_grace", s.opt.ReadinessGrace.String(),
+		"drain_timeout", s.opt.DrainTimeout.String())
+	if s.opt.ReadinessGrace > 0 {
+		t := time.NewTimer(s.opt.ReadinessGrace)
+		select {
+		case <-t.C:
+		case err := <-errc:
+			t.Stop()
+			return err // listener died during the grace window
+		}
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
 	defer cancel()
 	err := hs.Shutdown(drainCtx)

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 
 	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
 )
 
 // JSON encoding of reports. metrics.Energy keeps its per-component tally
@@ -115,4 +117,110 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		})
 	}
 	return json.Marshal(out)
+}
+
+// decodeEnergy rebuilds the per-component tally. The wire total is
+// derived, so it is not read back; the decoded Total() recomputes it
+// from the same component values and agrees bit-for-bit.
+func decodeEnergy(j energyJSON) (metrics.Energy, error) {
+	var e metrics.Energy
+	for _, c := range []struct {
+		comp metrics.Component
+		v    float64
+	}{
+		{metrics.DRAM, j.DRAMJ},
+		{metrics.Buffer, j.BufferJ},
+		{metrics.RRAMArray, j.RRAMJ},
+		{metrics.ADC, j.ADCJ},
+		{metrics.DAC, j.DACJ},
+		{metrics.Digital, j.DigitalJ},
+	} {
+		if c.v < 0 {
+			return e, fmt.Errorf("sim: negative %v energy %v", c.comp, c.v)
+		}
+		e.Add(c.comp, c.v)
+	}
+	return e, nil
+}
+
+func decodeResult(j resultJSON) (metrics.Result, error) {
+	energy, err := decodeEnergy(j.Energy)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return metrics.Result{
+		Energy:  energy,
+		Latency: j.LatencyS,
+		Counts: metrics.Counts{
+			RRAMReads:      j.Counts.RRAMReads,
+			RRAMWrites:     j.Counts.RRAMWrites,
+			ADCConversions: j.Counts.ADCConversions,
+			DACConversions: j.Counts.DACConversions,
+			BufferAccesses: j.Counts.BufferAccesses,
+			DRAMAccesses:   j.Counts.DRAMBytes,
+			DigitalOps:     j.Counts.DigitalOps,
+		},
+	}, nil
+}
+
+// parsePhaseName inverts Phase.String.
+func parsePhaseName(s string) (Phase, error) {
+	switch s {
+	case "inference":
+		return Inference, nil
+	case "training":
+		return Training, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown phase %q", s)
+	}
+}
+
+// parseKindName inverts nn.Kind.String over the defined kinds.
+func parseKindName(s string) (nn.Kind, error) {
+	for k := nn.Conv; k <= nn.Add; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown layer kind %q", s)
+}
+
+// UnmarshalJSON rebuilds a report from its stable wire encoding — the
+// HTTP client's decode path. Derived fields (throughput, per-image
+// energy, the energy totals) are not read back; they recompute from the
+// decoded state and agree with the wire values, so
+// marshal → unmarshal → marshal is byte-identical. Layer geometry is not
+// part of the wire schema: decoded layers carry only name and kind.
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	phase, err := parsePhaseName(in.Phase)
+	if err != nil {
+		return err
+	}
+	total, err := decodeResult(in.Total)
+	if err != nil {
+		return err
+	}
+	out := Report{Arch: in.Arch, Network: in.Network, Phase: phase, Batch: in.Batch, Total: total}
+	for _, lj := range in.Layers {
+		kind, err := parseKindName(lj.Kind)
+		if err != nil {
+			return err
+		}
+		res, err := decodeResult(lj.Result)
+		if err != nil {
+			return err
+		}
+		out.Layers = append(out.Layers, LayerResult{
+			Layer:          nn.Layer{Name: lj.Name, Kind: kind},
+			Result:         res,
+			Utilization:    lj.Utilization,
+			AllocatedCells: lj.AllocatedCells,
+		})
+	}
+	*r = out
+	return nil
 }

@@ -3,12 +3,32 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
+	"time"
 
+	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/tensor"
 )
+
+// RetryPolicy retries transiently-failed cells with capped exponential
+// backoff and jitter. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts bounds evaluation attempts per cell, including the
+	// first; <= 1 means a single attempt (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; <= 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; <= 0 means 250ms.
+	MaxDelay time.Duration
+	// Seed drives the jitter streams. Each cell derives its own stream
+	// from Seed and its key, so a run's retry schedule is reproducible at
+	// any worker count.
+	Seed int64
+}
 
 // Options tunes one engine run.
 type Options struct {
@@ -25,6 +45,20 @@ type Options struct {
 	// concurrency near P). The budget is process-wide: when several runs
 	// overlap, set it once at startup instead of per run.
 	KernelParallelism int
+	// Retry re-evaluates cells whose failure classifies as transient,
+	// isolating flaky evaluations from the rest of the sweep: other cells
+	// keep draining while a retried cell backs off. Terminal failures
+	// (invalid configs, context errors) are never retried.
+	Retry RetryPolicy
+	// IsTransient classifies a cell error as retryable. nil means
+	// fault.IsTransient: errors carrying the transient marker retry,
+	// everything else — including context errors — is terminal.
+	IsTransient func(error) bool
+	// Inject, when non-nil, injects faults at site "sweep/cell/<key>"
+	// before each evaluation attempt — the deterministic chaos hook.
+	// Each cell key draws from its own seeded stream, so injected fault
+	// schedules reproduce at any worker count.
+	Inject *fault.Injector
 }
 
 func (o Options) workers(cells int) int {
@@ -48,7 +82,11 @@ type Result struct {
 	// Cached reports that the cell was served by the memoization cache
 	// (or coalesced onto another goroutine's in-flight evaluation).
 	Cached bool
-	Err    error
+	// Attempts counts the evaluation attempts this cell took, 1 for a
+	// clean first pass; values above 1 mean transient failures were
+	// retried away.
+	Attempts int
+	Err      error
 }
 
 // Stream expands the plan and launches the sweep, returning a channel on
@@ -80,7 +118,7 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 		go func() {
 			defer wg.Done()
 			for cell := range feed {
-				out <- evaluate(ctx, cache, cell)
+				out <- evaluate(ctx, cache, cell, opt)
 			}
 		}()
 	}
@@ -97,19 +135,69 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 }
 
 // evaluate runs one cell through the cache, honoring cancellation at
-// cell granularity.
-func evaluate(ctx context.Context, cache *Cache, cell Cell) Result {
-	if err := ctx.Err(); err != nil {
-		return Result{Cell: cell, Err: err}
+// cell granularity and retrying transient failures per the run's policy.
+// Failure isolation is per cell: a retrying cell backs off on its own
+// worker while the rest of the sweep keeps draining, and a terminal
+// failure lands in this cell's Result without aborting siblings.
+func evaluate(ctx context.Context, cache *Cache, cell Cell, opt Options) Result {
+	key := cell.Key()
+	site := "sweep/cell/" + key.String()
+	classify := opt.IsTransient
+	if classify == nil {
+		classify = fault.IsTransient
 	}
-	rep, cached, err := cache.Do(ctx, cell.Key(), func() (*sim.Report, error) {
-		s, err := cell.Arch.Build(cell.Config)
-		if err != nil {
-			return nil, err
+	maxAttempts := opt.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var backoff *fault.Backoff
+	res := Result{Cell: cell}
+	for {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
 		}
-		return s.Simulate(ctx, cell.Network, cell.Phase)
-	})
-	return Result{Cell: cell, Report: rep, Cached: cached, Err: err}
+		res.Attempts++
+		res.Report, res.Cached, res.Err = cache.Do(ctx, key, func() (*sim.Report, error) {
+			if err := opt.Inject.Hit(ctx, site); err != nil {
+				return nil, err
+			}
+			s, err := cell.Arch.Build(cell.Config)
+			if err != nil {
+				return nil, err
+			}
+			return s.Simulate(ctx, cell.Network, cell.Phase)
+		})
+		if res.Err == nil || res.Attempts >= maxAttempts || !classify(res.Err) || ctx.Err() != nil {
+			return res
+		}
+		if backoff == nil {
+			backoff = fault.NewBackoff(opt.Retry.BaseDelay, retryMaxDelay(opt.Retry),
+				opt.Retry.Seed^keyJitterSeed(key))
+		}
+		if err := fault.Sleep(ctx, backoff.Delay(res.Attempts-1)); err != nil {
+			// The context ended mid-backoff: the cell never got its retry,
+			// so it carries the context error like any unexecuted cell.
+			res.Err = err
+			return res
+		}
+	}
+}
+
+// retryMaxDelay resolves the policy's backoff cap.
+func retryMaxDelay(p RetryPolicy) time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 250 * time.Millisecond
+}
+
+// keyJitterSeed derives a per-cell jitter stream from the cell key, so
+// retry schedules do not depend on which worker picked the cell up.
+func keyJitterSeed(k Key) int64 {
+	h := fnv.New64a()
+	fmt.Fprint(h, k.String())
+	return int64(h.Sum64())
 }
 
 // Run executes the plan and returns one Result per cell in deterministic
@@ -145,12 +233,23 @@ func Run(ctx context.Context, p Plan, opt Options) ([]Result, error) {
 	return ordered, nil
 }
 
+// ErrMapPanic reports an f that panicked inside Map; the panic is
+// converted into this error (wrapping the panic value's rendering) so a
+// broken item cannot kill the worker pool or leak its siblings.
+var ErrMapPanic = errors.New("sweep: Map function panicked")
+
 // Map runs f over items on at most workers goroutines (<= 0 means
 // GOMAXPROCS) and returns the outputs in item order. It is the engine's
 // fan-out primitive for work that is not a configuration sweep —
-// cmd/inca-experiments uses it to parallelize whole experiments. The
-// first error (including the context's, for items never started) is
-// returned alongside the partially-filled results.
+// cmd/inca-experiments uses it to parallelize whole experiments.
+//
+// Failure isolation: the first error stops new items from being fed, but
+// already-started siblings always run to completion before Map returns —
+// no goroutine outlives the call, and no in-flight item is abandoned
+// mid-write. Items never started are left at their zero value. The first
+// error in item order among attempted items (including the context's,
+// for items skipped after cancellation, and ErrMapPanic for an f that
+// panicked) is returned alongside the partially-filled results.
 func Map[T, R any](ctx context.Context, workers int, items []T, f func(context.Context, T) (R, error)) ([]R, error) {
 	n := len(items)
 	if workers <= 0 {
@@ -162,22 +261,51 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(context.C
 	results := make([]R, n)
 	errs := make([]error, n)
 	idx := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range idx {
+				select {
+				case <-stop:
+					// Halted: the feeder's send may have raced the stop
+					// signal, so drain the feed without starting new items.
+					// Skipped items keep their zero value and nil error.
+					continue
+				default:
+				}
 				if err := ctx.Err(); err != nil {
 					errs[j] = err
-					continue
+				} else {
+					func() {
+						defer func() {
+							if rec := recover(); rec != nil {
+								errs[j] = fmt.Errorf("%w: %v", ErrMapPanic, rec)
+							}
+						}()
+						results[j], errs[j] = f(ctx, items[j])
+					}()
 				}
-				results[j], errs[j] = f(ctx, items[j])
+				if errs[j] != nil {
+					halt()
+				}
 			}
 		}()
 	}
+	// Feed until done or halted; then drain every started worker before
+	// returning, so an early error cannot leak goroutines still writing
+	// into results.
+feed:
 	for j := 0; j < n; j++ {
-		idx <- j
+		select {
+		case idx <- j:
+		case <-stop:
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -1,0 +1,73 @@
+package train
+
+import (
+	"fmt"
+
+	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// ApplyStuckFaults pins a fraction of every parametric layer's weights
+// at stuck-at conductances, modeling formed-but-dead RRAM devices in the
+// arrays holding the model: a stuck-at-LRS cell reads the layer's
+// full-scale weight magnitude, a stuck-at-HRS cell reads zero. The
+// injector selects the cells deterministically per layer (site
+// "train/layer/<i>"), so a given seed kills the same devices on every
+// run. Returns the number of weights pinned.
+func (n *Network) ApplyStuckFaults(inj *fault.Injector, rate float64) int {
+	stuck := 0
+	li := 0
+	for _, l := range n.Layers {
+		var w *tensor.Tensor
+		switch t := l.(type) {
+		case *Conv:
+			w = t.W
+		case *FC:
+			w = t.W
+		default:
+			continue
+		}
+		cells := inj.StuckCells(fmt.Sprintf("train/layer/%d", li), w.Len(), rate)
+		scale := w.MaxAbs()
+		for _, c := range cells {
+			if c.LRS {
+				w.Data()[c.Index] = scale
+			} else {
+				w.Data()[c.Index] = 0
+			}
+		}
+		stuck += len(cells)
+		li++
+	}
+	return stuck
+}
+
+// StuckFaultRow is one point of the accuracy-under-fault-rate study.
+type StuckFaultRow struct {
+	Rate     float64 // per-device fault probability
+	Stuck    int     // weights actually pinned
+	Accuracy float64 // test accuracy (%) with the faults in place
+	Clean    float64 // fault-free accuracy (%) of the same pretrained model
+}
+
+// StuckFaultTable measures classification accuracy as a function of the
+// stuck-at device fault rate: a pretrained model is cloned per rate, the
+// injector (seeded from cfg.Seed) pins weights at LRS/HRS, and the
+// degraded model is evaluated unchanged — the robustness layer's bridge
+// back to the paper's hardware substrate.
+func StuckFaultTable(cfg ExperimentConfig, rates []float64) []StuckFaultRow {
+	base, _, testSet := pretrained(cfg)
+	clean := Accuracy(base, testSet)
+	rows := make([]StuckFaultRow, 0, len(rates))
+	for _, rate := range rates {
+		net := base.Clone()
+		stuck := net.ApplyStuckFaults(fault.New(cfg.Seed), rate)
+		rows = append(rows, StuckFaultRow{
+			Rate:     rate,
+			Stuck:    stuck,
+			Accuracy: Accuracy(net, testSet),
+			Clean:    clean,
+		})
+	}
+	return rows
+}

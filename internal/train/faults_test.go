@@ -1,0 +1,63 @@
+package train
+
+import (
+	"testing"
+
+	"github.com/inca-arch/inca/internal/fault"
+)
+
+func TestStuckFaultTableDegradesWithRate(t *testing.T) {
+	cfg := tinyConfig()
+	rows := StuckFaultTable(cfg, []float64{0, 0.5})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Stuck != 0 {
+		t.Fatalf("rate 0 pinned %d weights", rows[0].Stuck)
+	}
+	if rows[0].Accuracy != rows[0].Clean {
+		t.Fatalf("rate 0 accuracy %v differs from clean %v", rows[0].Accuracy, rows[0].Clean)
+	}
+	if rows[1].Stuck == 0 {
+		t.Fatal("rate 0.5 pinned no weights")
+	}
+	if rows[1].Accuracy >= rows[1].Clean {
+		t.Fatalf("half the devices dead but accuracy %v did not drop below clean %v",
+			rows[1].Accuracy, rows[1].Clean)
+	}
+}
+
+func TestApplyStuckFaultsIsDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	base, _, testSet := pretrained(cfg)
+
+	a, b := base.Clone(), base.Clone()
+	na := a.ApplyStuckFaults(fault.New(11), 0.1)
+	nb := b.ApplyStuckFaults(fault.New(11), 0.1)
+	if na != nb || na == 0 {
+		t.Fatalf("stuck counts differ across identically-seeded injectors: %d vs %d", na, nb)
+	}
+	if accA, accB := Accuracy(a, testSet), Accuracy(b, testSet); accA != accB {
+		t.Fatalf("identically-seeded faulted models diverge: %v vs %v", accA, accB)
+	}
+
+	// A different seed kills a different device set.
+	c := base.Clone()
+	c.ApplyStuckFaults(fault.New(12), 0.1)
+	same := true
+	for i, l := range a.Layers {
+		ca, ok := l.(*Conv)
+		if !ok {
+			continue
+		}
+		cc := c.Layers[i].(*Conv)
+		for j := range ca.W.Data() {
+			if ca.W.Data()[j] != cc.W.Data()[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds pinned identical device sets")
+	}
+}
