@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-sweep serve-smoke chaos
+.PHONY: check build test vet race bench bench-sweep serve-smoke chaos trace profile
 
 check: vet build race
 
@@ -34,6 +34,19 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Retry|Stuck|Readiness|MaxBody|Drain|Backoff|Transient|RetryAfter|Exhausted' \
 		./internal/fault/ ./internal/sweep/ ./internal/serve/ \
 		./internal/client/ ./internal/rram/ ./internal/train/ .
+
+# Observability suite under the race detector: the obs tracer itself,
+# the traced sim/sweep/serve paths (deterministic step clocks pin every
+# timestamp), kernel-stats counters, and the admission-gauge invariants.
+trace:
+	$(GO) test -race -run 'Trace|Traced|KernelStats|Stats|QueuedGauge|Prometheus|LatencyBuckets|Pprof' \
+		./internal/obs/ ./internal/sim/ ./internal/sweep/ \
+		./internal/serve/ ./internal/tensor/
+
+# CPU profile of the kernel benchmark (the numeric hot path); inspect
+# with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/inca-bench -cpuprofile cpu.pprof
 
 # End-to-end smoke of the HTTP service: boot inca-serve, probe /healthz,
 # evaluate one simulate cell twice (responses must be byte-identical),

@@ -8,6 +8,7 @@
 //	inca-bench                     # print the report to stdout
 //	inca-bench -o BENCH_PR2.json   # write the baseline file
 //	inca-bench -reps 5 -workers 8  # more repetitions, explicit budget
+//	inca-bench -cpuprofile cpu.pprof   # capture a CPU profile of the run
 package main
 
 import (
@@ -18,8 +19,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"github.com/inca-arch/inca/internal/cli"
 	"github.com/inca-arch/inca/internal/tensor"
 )
 
@@ -50,12 +53,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("o", "", "write the JSON baseline to this file (default: stdout only)")
 	reps := fs.Int("reps", 3, "repetitions per kernel; the fastest is kept")
 	workers := fs.Int("workers", 0, "parallel worker budget (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+	logLevel := cli.LogLevelFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := cli.NewLogger(stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-bench:", err)
 		return 2
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "inca-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "inca-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+		logger.Info("cpu profiling", "file", *cpuprofile)
+	}
+	logger.Debug("benchmarking", "reps", *reps, "workers", *workers)
 	b := runBenchmarks(*reps, *workers)
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca"
+	"github.com/inca-arch/inca/internal/cli"
 )
 
 func main() {
@@ -48,6 +49,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	baseDelay := fs.Duration("base-delay", 100*time.Millisecond, "backoff before the first retry")
 	maxDelay := fs.Duration("max-delay", 2*time.Second, "backoff growth cap (Retry-After can exceed it)")
 	seed := fs.Int64("seed", 0, "retry-jitter seed (reproducible schedules)")
+	trace := fs.Bool("trace", false, "print the server-returned trace ID (X-Trace-Id) to stderr")
+	logLevel := cli.LogLevelFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|models|metrics} [flags]")
 		fs.PrintDefaults()
@@ -59,13 +62,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	logger, err := cli.NewLogger(stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-client:", err)
+		return 2
+	}
 
-	c, err := inca.NewClient(*base, inca.ClientOptions{
+	opt := inca.ClientOptions{
 		MaxAttempts: *attempts,
 		BaseDelay:   *baseDelay,
 		MaxDelay:    *maxDelay,
 		Seed:        *seed,
-	})
+		Logger:      logger,
+	}
+	if *trace {
+		// Stderr keeps stdout parseable; the ID is the handle for
+		// GET /v1/trace/{id} on a tracing server.
+		opt.OnTrace = func(traceID string) {
+			fmt.Fprintln(stderr, "trace:", traceID)
+		}
+	}
+	c, err := inca.NewClient(*base, opt)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"syscall"
 
+	"github.com/inca-arch/inca/internal/cli"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
 )
@@ -43,7 +44,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	jobs := fs.Int("jobs", 0, "experiments run concurrently (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	logLevel := cli.LogLevelFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := cli.NewLogger(stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-experiments:", err)
 		return 2
 	}
 
@@ -83,6 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 	}
 
+	logger.Debug("running experiments", "count", len(selected), "jobs", *jobs)
 	// Render every experiment on the engine's fan-out primitive, then
 	// print in selection order so -jobs never changes the output.
 	outputs, err := sweep.Map(ctx, *jobs, selected,

@@ -9,6 +9,7 @@
 //	inca-serve -addr :8321
 //	inca-serve -inflight 8 -queue 128 -request-timeout 30s
 //	inca-serve -kernels 4          # cap the process-wide tensor budget
+//	inca-serve -trace-jsonl t.jsonl -pprof   # tracing + profiling endpoints
 //	inca-serve -chaos-seed 42      # opt-in fault injection (never in production)
 //
 // Endpoints:
@@ -18,9 +19,11 @@
 //	GET  /v1/models              the network zoo
 //	GET  /v1/experiments         experiment index
 //	GET  /v1/experiments/{id}    one paper table/figure
+//	GET  /v1/trace/{id}          one trace from the in-memory ring
+//	GET  /debug/pprof/           runtime profiles (only with -pprof)
 //	GET  /healthz                liveness (also /healthz/live)
 //	GET  /healthz/ready          readiness — 503 once draining begins
-//	GET  /metrics                counters, queue gauges, cache stats
+//	GET  /metrics                counters, gauges, cache stats (JSON or Prometheus)
 package main
 
 import (
@@ -28,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca"
+	"github.com/inca-arch/inca/internal/cli"
 )
 
 func main() {
@@ -58,7 +61,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	readinessGrace := fs.Duration("readiness-grace", 0, "keep serving after /healthz/ready flips 503 so load balancers drift away first")
 	maxBody := fs.Int64("max-body", 1<<20, "request-body byte cap; overflow answers 413")
 	kernels := fs.Int("kernels", 0, "process-wide tensor-kernel worker budget (0 = GOMAXPROCS tracking)")
-	quiet := fs.Bool("quiet", false, "suppress access logs")
+	quiet := fs.Bool("quiet", false, "suppress all logs (same as -log-level off)")
+	logLevel := cli.LogLevelFlag(fs)
+	traceJSONL := fs.String("trace-jsonl", "", "enable tracing and append every completed span to this JSONL file")
+	traceRing := fs.Int("trace-ring", 0, "enable tracing with an in-memory ring of this many spans (0 = default size when tracing is on)")
+	pprofOn := fs.Bool("pprof", false, "mount GET /debug/pprof/ runtime profiling endpoints")
 	chaosSeed := fs.Int64("chaos-seed", 0, "arm the fault injector with this seed (0 = off; never use in production)")
 	chaosProb := fs.Float64("chaos-prob", 0.1, "per-request probability of each armed chaos fault")
 	chaosLatency := fs.Duration("chaos-latency", 50*time.Millisecond, "injected latency for the chaos latency fault")
@@ -68,12 +75,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *kernels > 0 {
 		inca.SetKernelParallelism(*kernels)
 	}
+	// The kernel-stats hook is free when idle, so the server always
+	// installs one: /metrics reports kernel occupancy out of the box.
+	inca.InstallKernelStats()
 
-	logDst := io.Writer(stderr)
+	level := *logLevel
 	if *quiet {
-		logDst = io.Discard
+		level = "off"
 	}
-	logger := slog.New(slog.NewTextHandler(logDst, nil))
+	logger, err := cli.NewLogger(stderr, level)
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-serve:", err)
+		return 2
+	}
+
+	// Tracing is on when either trace flag is given; the ring always
+	// backs GET /v1/trace/{id}, the JSONL file additionally persists
+	// every span for offline analysis.
+	var tracer *inca.Tracer
+	var traceFile *os.File
+	if *traceJSONL != "" || *traceRing > 0 {
+		opts := []inca.TracerOption{inca.WithTraceRing(*traceRing)}
+		if *traceJSONL != "" {
+			traceFile, err = os.OpenFile(*traceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(stderr, "inca-serve:", err)
+				return 1
+			}
+			defer traceFile.Close()
+			opts = append(opts, inca.WithTraceJSONL(traceFile))
+		}
+		tracer = inca.NewTracer(opts...)
+		logger.Info("tracing enabled", "jsonl", *traceJSONL, "ring", *traceRing)
+	}
 
 	// Chaos mode is strictly opt-in: without -chaos-seed the injector is
 	// nil and the fault paths cost nothing.
@@ -96,6 +130,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxBodyBytes:   *maxBody,
 		Logger:         logger,
 		Inject:         inj,
+		Tracer:         tracer,
+		EnablePprof:    *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

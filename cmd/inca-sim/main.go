@@ -28,6 +28,7 @@ import (
 
 	"github.com/inca-arch/inca"
 	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/cli"
 	"github.com/inca-arch/inca/internal/metrics"
 	"github.com/inca-arch/inca/internal/report"
 )
@@ -56,9 +57,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	csvPath := fs.String("csv", "", "write the per-layer trace to this CSV file (single cell only)")
 	configPath := fs.String("config", "", "load a custom accelerator configuration (JSON) instead of -arch defaults")
 	summary := fs.Bool("summary", false, "print the network's layer table and exit")
+	logLevel := cli.LogLevelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger, err := cli.NewLogger(stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-sim:", err)
+		return 2
+	}
+	logger.Debug("parsed flags", "model", *model, "arch", *archNames, "phase", *phaseNames, "batch", *batch)
 
 	var nets []*inca.Network
 	for _, name := range splitList(*model) {

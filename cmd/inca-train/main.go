@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"github.com/inca-arch/inca"
+	"github.com/inca-arch/inca/internal/cli"
 	"github.com/inca-arch/inca/internal/report"
 )
 
@@ -30,7 +31,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	epochs := fs.Int("epochs", 0, "override noise fine-tuning epochs (0 = default)")
 	perClass := fs.Int("per-class", 0, "override samples per class (0 = default)")
 	repeats := fs.Int("repeats", 0, "average noise rows over this many seeds (0 = single run)")
+	logLevel := cli.LogLevelFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	logger, err := cli.NewLogger(stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-train:", err)
 		return 2
 	}
 
@@ -52,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	logger.Debug("experiment config",
+		"exp", *exp, "epochs", cfg.NoiseEpochs, "per_class", cfg.Data.PerClass, "repeats", cfg.Repeats)
 	if runNoise {
 		rows := inca.NoiseAccuracy(cfg, []float64{0.005, 0.01, 0.02, 0.03, 0.05})
 		t := report.New("Table VI: training accuracy (%) vs noise strength",

@@ -23,6 +23,7 @@ package inca
 
 import (
 	"context"
+	"io"
 	"math/rand"
 	"net/http"
 
@@ -38,6 +39,7 @@ import (
 	"github.com/inca-arch/inca/internal/insitu"
 	"github.com/inca-arch/inca/internal/metrics"
 	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/place"
 	"github.com/inca-arch/inca/internal/rram"
 	"github.com/inca-arch/inca/internal/sched"
@@ -657,4 +659,83 @@ func NewClient(baseURL string, opt ClientOptions) (*Client, error) {
 // test accuracy against the clean model.
 func StuckFaultAccuracy(cfg ExperimentConfig, rates []float64) []StuckFaultRow {
 	return train.StuckFaultTable(cfg, rates)
+}
+
+// --- Tracing and runtime telemetry (the observability layer) ---
+
+type (
+	// Tracer produces nested spans across the whole stack: the HTTP
+	// service's per-request root, the sweep engine's per-cell and
+	// per-attempt spans, and the simulator's per-layer leaves whose
+	// attributes reconcile with the report's latency table. Spans land
+	// in a bounded in-memory ring (queryable via TraceDump or the
+	// service's GET /v1/trace/{id}) and any extra sinks.
+	Tracer = obs.Tracer
+	// TracerOption configures NewTracer.
+	TracerOption = obs.TracerOption
+	// TraceSpan is a live span; annotate with SetAttr/Count/Event and
+	// finish with End or EndWith.
+	TraceSpan = obs.Span
+	// TraceSpanData is the immutable record of a completed span — what
+	// sinks receive and TraceRing stores.
+	TraceSpanData = obs.SpanData
+	// TraceAttr is one key/value annotation on a span or event.
+	TraceAttr = obs.Attr
+	// TraceRing is the bounded in-memory span store backing trace
+	// queries; oldest spans are evicted first.
+	TraceRing = obs.Ring
+	// TraceSink receives completed spans (the ring and the JSONL writer
+	// are the built-ins; implement it for custom exporters).
+	TraceSink = obs.Sink
+	// KernelStats is the atomic counter block tracking tensor-kernel
+	// invocations, chunking, and worker occupancy. Install with
+	// InstallKernelStats (or tensor.SetStatsHook) and read with
+	// Snapshot; /metrics exports it when a hook is installed.
+	KernelStats = tensor.KernelStats
+	// KernelStatsSnapshot is a point-in-time copy of a KernelStats.
+	KernelStatsSnapshot = tensor.StatsSnapshot
+)
+
+// NewTracer builds a tracer. With no options, spans go to a
+// default-capacity in-memory ring only.
+func NewTracer(opts ...TracerOption) *Tracer { return obs.NewTracer(opts...) }
+
+// WithTraceRing sets the tracer's in-memory ring capacity (spans);
+// n <= 0 keeps the default.
+func WithTraceRing(n int) TracerOption { return obs.WithRing(n) }
+
+// WithTraceJSONL streams every completed span to w as one JSON object
+// per line, in addition to the ring.
+func WithTraceJSONL(w io.Writer) TracerOption { return obs.WithSink(obs.NewJSONLWriter(w)) }
+
+// WithTraceSink attaches a custom span sink alongside the ring.
+func WithTraceSink(s TraceSink) TracerOption { return obs.WithSink(s) }
+
+// WithTracer starts a root span named name on t and returns a context
+// carrying it: every facade call made with that context (Simulate,
+// RunSweep, the service handlers' internals) nests its spans beneath
+// the root. End the returned span to flush it to the tracer's sinks.
+func WithTracer(ctx context.Context, t *Tracer, name string, attrs ...TraceAttr) (context.Context, *TraceSpan) {
+	return t.Start(ctx, name, attrs...)
+}
+
+// TraceDump renders one trace from the tracer's ring as an indented
+// span tree with durations, attributes, and counters — the quick
+// human-readable view (the service's GET /v1/trace/{id}?format=text
+// serves the same rendering).
+func TraceDump(t *Tracer, traceID string) string {
+	if t == nil || t.Ring() == nil {
+		return ""
+	}
+	return obs.Dump(t.Ring(), traceID)
+}
+
+// InstallKernelStats installs a fresh process-wide kernel-stats
+// collector and returns it; /metrics reports its counters. The hook
+// costs one atomic load per kernel call — negligible against any real
+// kernel.
+func InstallKernelStats() *KernelStats {
+	s := &KernelStats{}
+	tensor.SetStatsHook(s)
+	return s
 }

@@ -1,0 +1,43 @@
+// Package cli holds the flag and logging conventions shared by every
+// command under cmd/: one -log-level flag, one slog setup writing
+// human-readable lines to stderr, so operators configure any binary of
+// the suite the same way.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogLevelFlag registers the standard -log-level flag on fs and returns
+// the destination. Parse fs, then hand the value to NewLogger.
+func LogLevelFlag(fs *flag.FlagSet) *string {
+	return fs.String("log-level", "info", "log verbosity: debug, info, warn, error, or off")
+}
+
+// NewLogger builds the suite's standard logger: text-formatted slog
+// lines to w (conventionally stderr, keeping stdout clean for command
+// output) at the named level. "off" discards everything. Level names
+// are case-insensitive; an unknown name is an error so typos fail fast
+// instead of silently logging at the wrong level.
+func NewLogger(w io.Writer, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off", "none":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, error, or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})), nil
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestNewLoggerLevels pins the level gate: each named level admits its
+// own records and above, "off" discards everything, unknown names fail.
+func TestNewLoggerLevels(t *testing.T) {
+	for _, tc := range []struct {
+		level      string
+		debug, err bool // records that should appear
+	}{
+		{"debug", true, true},
+		{"Info", false, true},
+		{"warn", false, true},
+		{"error", false, true},
+		{"off", false, false},
+		{"", false, true}, // empty means info
+	} {
+		var buf bytes.Buffer
+		log, errNew := NewLogger(&buf, tc.level)
+		if errNew != nil {
+			t.Fatalf("level %q: %v", tc.level, errNew)
+		}
+		log.Debug("dbg-record")
+		log.Error("err-record")
+		out := buf.String()
+		if got := strings.Contains(out, "dbg-record"); got != tc.debug {
+			t.Errorf("level %q: debug visible = %v, want %v", tc.level, got, tc.debug)
+		}
+		if got := strings.Contains(out, "err-record"); got != tc.err {
+			t.Errorf("level %q: error visible = %v, want %v", tc.level, got, tc.err)
+		}
+	}
+	if _, err := NewLogger(io.Discard, "loud"); err == nil {
+		t.Fatal("unknown level should error")
+	}
+}
+
+// TestLogLevelFlag pins the flag registration and default.
+func TestLogLevelFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	lv := LogLevelFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *lv != "info" {
+		t.Fatalf("default level %q, want info", *lv)
+	}
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	lv2 := LogLevelFlag(fs2)
+	if err := fs2.Parse([]string{"-log-level", "debug"}); err != nil {
+		t.Fatal(err)
+	}
+	if *lv2 != "debug" {
+		t.Fatalf("parsed level %q, want debug", *lv2)
+	}
+}

@@ -73,6 +73,11 @@ type Options struct {
 	Seed int64
 	// Logger receives one line per retry; nil discards them.
 	Logger *slog.Logger
+	// OnTrace, when non-nil, receives the server's X-Trace-Id from each
+	// exchange that carried one — the handle for GET /v1/trace/{id} on a
+	// tracing server. Called once per attempt, including failed ones
+	// (a failed attempt's trace is exactly the one worth fetching).
+	OnTrace func(traceID string)
 }
 
 // Client talks to one inca service instance. Safe for concurrent use.
@@ -223,6 +228,11 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		return fault.MarkTransient(fmt.Errorf("client: %s %s: %w", method, path, err))
 	}
 	defer resp.Body.Close()
+	if c.opt.OnTrace != nil {
+		if traceID := resp.Header.Get("X-Trace-Id"); traceID != "" {
+			c.opt.OnTrace(traceID)
+		}
+	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		if ctx.Err() != nil {

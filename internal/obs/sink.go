@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Ring is a bounded in-memory sink retaining the most recent completed
+// spans. It is the queryable store behind the HTTP service's
+// GET /v1/trace/{id}: bounded so a long-lived server cannot grow
+// without limit, oldest spans evicted first.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []SpanData
+	next  int   // write cursor
+	count int   // valid entries (== len(buf) once wrapped)
+	total int64 // lifetime emitted spans, including evicted
+}
+
+// DefaultRingCapacity bounds a ring constructed with capacity <= 0.
+const DefaultRingCapacity = 4096
+
+// NewRing returns a ring retaining up to capacity spans
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]SpanData, capacity)}
+}
+
+// Emit stores one completed span, evicting the oldest at capacity.
+func (r *Ring) Emit(sd SpanData) {
+	r.mu.Lock()
+	r.buf[r.next] = sd
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len reports how many spans the ring currently retains.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Total reports how many spans the ring has ever received (retained or
+// evicted) — with Len it quantifies eviction for capacity tuning.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Ring) Spans() []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Trace returns the retained spans of one trace, oldest first (which
+// for nested spans is completion order: leaves before their parents).
+func (r *Ring) Trace(traceID string) []SpanData {
+	var out []SpanData
+	for _, sd := range r.Spans() {
+		if sd.TraceID == traceID {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// JSONLWriter is a sink appending one JSON object per completed span to
+// an io.Writer — the offline-analysis format (`inca-serve -trace-jsonl`).
+// Writes are serialized by an internal mutex; the first write error
+// latches (inspect with Err) and subsequent spans are dropped rather
+// than interleaving partial lines.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter returns a sink writing JSON lines to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Emit appends one span as a JSON line.
+func (j *JSONLWriter) Emit(sd SpanData) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(sd)
+	}
+	j.mu.Unlock()
+}
+
+// Err reports the first write failure, nil when every span landed.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -44,12 +44,17 @@ func (a *admission) acquire(ctx context.Context, m *Metrics) error {
 		return errSaturated
 	}
 	m.queued.Add(1)
-	defer m.queued.Add(-1)
+	// The queued gauge is decremented before the request is counted
+	// anywhere else, so a request is never visible in two gauges at once:
+	// a snapshot racing an admission (or a chaos-cancelled acquire) sees
+	// it as queued or inflight/rejected, not both.
 	select {
 	case a.slots <- struct{}{}:
+		m.queued.Add(-1)
 		m.inflight.Add(1)
 		return nil
 	case <-ctx.Done():
+		m.queued.Add(-1)
 		<-a.tickets
 		m.rejected.Add(1)
 		return errAbandoned

@@ -129,9 +129,12 @@ type ModelInfo struct {
 	LightModel  bool   `json:"light_model"`
 }
 
-// errorBody is the uniform JSON error payload.
+// errorBody is the uniform JSON error payload. TraceID, set when the
+// server traces requests, is the root span's trace ID — the handle a
+// caller quotes to GET /v1/trace/{id} to see where its request failed.
 type errorBody struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // writeJSON encodes v with a stable layout. Failures after the header is
@@ -145,9 +148,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError answers with the uniform error payload.
+// writeError answers with the uniform error payload. The trace ID rides
+// along when tracing is on: the instrument middleware stamped it on the
+// response headers before the handler ran, so it is read back from
+// there rather than threading the request through every call site.
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorBody{Error: err.Error()})
+	s.writeJSON(w, status, errorBody{Error: err.Error(), TraceID: w.Header().Get(traceIDHeader)})
 }
 
 // writeUnavailable answers 503 with the Retry-After hint — the admission

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
@@ -107,7 +109,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admitted(w, r, func(ctx context.Context) {
 		plan := sweep.Plan{Archs: []sweep.Arch{ax}, Networks: []*nn.Network{net}, Phases: []sim.Phase{phase}}
-		results, err := sweep.Run(ctx, plan, sweep.Options{Workers: 1, Cache: s.cache})
+		results, err := sweep.Run(ctx, plan, s.sweepOptions(1))
 		if err == nil && results[0].Err != nil {
 			err = results[0].Err
 		}
@@ -173,7 +175,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.admitted(w, r, func(ctx context.Context) {
-		results, err := sweep.Run(ctx, plan, sweep.Options{Workers: s.requestWorkers(), Cache: s.cache})
+		results, err := sweep.Run(ctx, plan, s.sweepOptions(s.requestWorkers()))
 		if err != nil {
 			s.writeError(w, statusForRunErr(err), err)
 			return
@@ -324,7 +326,50 @@ func (s *Server) handleReadiness(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// handleMetrics exports the expvar-style counter snapshot.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.snapshot())
+// handleMetrics exports the counter snapshot: JSON by default, the
+// Prometheus text exposition format when negotiated via Accept:
+// text/plain or ?format=prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := writePrometheus(w, snap); err != nil {
+			s.log.Error("writing prometheus metrics", "err", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// traceResponse is the /v1/trace/{id} payload: every retained span of
+// one trace (oldest-first) plus a rendered tree for human eyes.
+type traceResponse struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []obs.SpanData `json:"spans"`
+	Tree    string         `json:"tree"`
+}
+
+// handleTrace serves one trace from the tracer's in-memory ring: the
+// span list as JSON, or the rendered tree as text with ?format=text.
+// 404 covers both an unknown (or already-evicted) trace ID and a server
+// running with tracing disabled.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.opt.Tracer
+	if t == nil || t.Ring() == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("tracing is not enabled on this server"))
+		return
+	}
+	id := r.PathValue("id")
+	spans := t.Ring().Trace(id)
+	if len(spans) == 0 {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not found (unknown ID or evicted from the ring)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, obs.Dump(t.Ring(), id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, traceResponse{TraceID: id, Spans: spans, Tree: obs.Dump(t.Ring(), id)})
 }

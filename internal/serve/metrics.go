@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"fmt"
+	"io"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -9,16 +12,20 @@ import (
 	"github.com/inca-arch/inca/internal/tensor"
 )
 
-// numLatencyBuckets counts the histogram's bounded buckets; one more
-// +Inf overflow bucket follows them.
-const numLatencyBuckets = 14
-
-// latencyBounds are the histogram bucket upper bounds in seconds; the
-// final implicit bucket is +Inf. Simulations of the analytical models run
-// in microseconds-to-milliseconds; sweeps and experiments in the
+// defaultLatencyBounds are the histogram bucket upper bounds in seconds;
+// the final implicit bucket is +Inf. Simulations of the analytical models
+// run in microseconds-to-milliseconds; sweeps and experiments in the
 // hundreds of milliseconds.
-var latencyBounds = [numLatencyBuckets]float64{
+var defaultLatencyBounds = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefaultLatencyBuckets returns a copy of the default request-latency
+// histogram bounds (seconds, ascending, +Inf overflow implied).
+func DefaultLatencyBuckets() []float64 {
+	out := make([]float64, len(defaultLatencyBounds))
+	copy(out, defaultLatencyBounds)
+	return out
 }
 
 // Metrics is the server's expvar-style counter set. All fields are
@@ -37,10 +44,30 @@ type Metrics struct {
 
 	latencyCount atomic.Int64
 	latencySumNS atomic.Int64
-	latencyBkts  [len(latencyBounds) + 1]atomic.Int64
+	latencyBnds  []float64      // bucket upper bounds, ascending
+	latencyBkts  []atomic.Int64 // len(latencyBnds)+1; last is +Inf
 }
 
-func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+// newMetrics builds the counter set with the given histogram bounds
+// (nil means the defaults). Bounds are sanitized to a strictly
+// ascending positive sequence; out-of-order or duplicate entries are
+// dropped rather than silently misbinning observations.
+func newMetrics(bounds []float64) *Metrics {
+	if bounds == nil {
+		bounds = defaultLatencyBounds
+	}
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if b > 0 && (len(clean) == 0 || b > clean[len(clean)-1]) {
+			clean = append(clean, b)
+		}
+	}
+	return &Metrics{
+		start:       time.Now(),
+		latencyBnds: clean,
+		latencyBkts: make([]atomic.Int64, len(clean)+1),
+	}
+}
 
 // observe records one completed HTTP exchange.
 func (m *Metrics) observe(status int, d time.Duration) {
@@ -55,8 +82,8 @@ func (m *Metrics) observe(status int, d time.Duration) {
 	m.latencyCount.Add(1)
 	m.latencySumNS.Add(int64(d))
 	s := d.Seconds()
-	b := len(latencyBounds) // +Inf bucket
-	for i, bound := range latencyBounds {
+	b := len(m.latencyBnds) // +Inf bucket
+	for i, bound := range m.latencyBnds {
 		if s <= bound {
 			b = i
 			break
@@ -73,6 +100,28 @@ type Histogram struct {
 	Counts  []int64   `json:"counts"`
 	Count   int64     `json:"count"`
 	SumS    float64   `json:"sum_s"`
+}
+
+// RuntimeStats are the Go runtime gauges /metrics exports: scheduler
+// and memory pressure at snapshot time.
+type RuntimeStats struct {
+	Goroutines   int     `json:"goroutines"`
+	HeapAllocB   uint64  `json:"heap_alloc_bytes"`
+	HeapSysB     uint64  `json:"heap_sys_bytes"`
+	GCCycles     uint32  `json:"gc_cycles"`
+	GCPauseTotal float64 `json:"gc_pause_total_s"`
+}
+
+func readRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:   runtime.NumGoroutine(),
+		HeapAllocB:   ms.HeapAlloc,
+		HeapSysB:     ms.HeapSys,
+		GCCycles:     ms.NumGC,
+		GCPauseTotal: time.Duration(ms.PauseTotalNs).Seconds(),
+	}
 }
 
 // Snapshot is the /metrics payload.
@@ -96,6 +145,15 @@ type Snapshot struct {
 	// SuiteCache is the experiment suite's shared process-wide cache,
 	// exercised by /v1/experiments.
 	SuiteCache sweep.CacheStats `json:"suite_cache"`
+	// Runtime is the Go runtime's live state at snapshot time.
+	Runtime RuntimeStats `json:"runtime"`
+	// Kernels is the process-wide tensor-kernel activity (zeros unless a
+	// stats hook is installed — cmd/inca-serve installs one at startup).
+	Kernels tensor.StatsSnapshot `json:"kernels"`
+	// TraceSpans counts spans retained in / emitted through the tracer's
+	// ring; both zero when tracing is disabled.
+	TraceSpans      int   `json:"trace_spans"`
+	TraceSpansTotal int64 `json:"trace_spans_total"`
 }
 
 // snapshot collects every counter. Each field is individually exact; the
@@ -107,7 +165,7 @@ func (s *Server) snapshot() Snapshot {
 	for i := range m.latencyBkts {
 		counts[i] = m.latencyBkts[i].Load()
 	}
-	return Snapshot{
+	snap := Snapshot{
 		UptimeS:        time.Since(m.start).Seconds(),
 		Requests:       m.requests.Load(),
 		Rejected:       m.rejected.Load(),
@@ -121,12 +179,81 @@ func (s *Server) snapshot() Snapshot {
 		KernelBudget:   tensor.Parallelism(),
 		RequestWorkers: s.requestWorkers(),
 		Latency: Histogram{
-			BoundsS: latencyBounds[:],
+			BoundsS: m.latencyBnds,
 			Counts:  counts,
 			Count:   m.latencyCount.Load(),
 			SumS:    time.Duration(m.latencySumNS.Load()).Seconds(),
 		},
 		Cache:      s.cache.Stats(),
 		SuiteCache: suite.CacheStats(),
+		Runtime:    readRuntimeStats(),
+		Kernels:    tensor.StatsHook().Snapshot(),
 	}
+	if t := s.opt.Tracer; t != nil {
+		if ring := t.Ring(); ring != nil {
+			snap.TraceSpans = ring.Len()
+			snap.TraceSpansTotal = ring.Total()
+		}
+	}
+	return snap
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges one per line, the latency
+// histogram with cumulative buckets as the format requires. Metric names
+// follow the inca_http_* / inca_runtime_* convention.
+func writePrometheus(w io.Writer, snap Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	scalar := func(name, typ, help string, v any) {
+		p("# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
+	}
+	scalar("inca_uptime_seconds", "gauge", "Seconds since the server started.", snap.UptimeS)
+	scalar("inca_http_requests_total", "counter", "HTTP requests received.", snap.Requests)
+	scalar("inca_http_rejected_total", "counter", "Requests rejected by admission (saturated or abandoned).", snap.Rejected)
+	scalar("inca_http_inflight", "gauge", "Requests holding an execution slot.", snap.Inflight)
+	scalar("inca_http_queued", "gauge", "Requests waiting for an execution slot.", snap.Queued)
+	p("# HELP inca_http_responses_total Completed responses by status class.\n# TYPE inca_http_responses_total counter\n")
+	p("inca_http_responses_total{class=\"2xx\"} %d\n", snap.Status2xx)
+	p("inca_http_responses_total{class=\"4xx\"} %d\n", snap.Status4xx)
+	p("inca_http_responses_total{class=\"5xx\"} %d\n", snap.Status5xx)
+
+	p("# HELP inca_http_request_duration_seconds Request latency.\n# TYPE inca_http_request_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, bound := range snap.Latency.BoundsS {
+		cum += snap.Latency.Counts[i]
+		p("inca_http_request_duration_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	p("inca_http_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", snap.Latency.Count)
+	p("inca_http_request_duration_seconds_sum %g\n", snap.Latency.SumS)
+	p("inca_http_request_duration_seconds_count %d\n", snap.Latency.Count)
+
+	cacheFam := func(prefix string, st sweep.CacheStats) {
+		scalar(prefix+"_hits_total", "counter", "Cache hits.", st.Hits)
+		scalar(prefix+"_misses_total", "counter", "Cache misses.", st.Misses)
+		scalar(prefix+"_expired_total", "counter", "Waiters whose context ended mid-flight.", st.Expired)
+		scalar(prefix+"_entries", "gauge", "Stored results.", st.Entries)
+	}
+	cacheFam("inca_cache", snap.Cache)
+	cacheFam("inca_suite_cache", snap.SuiteCache)
+
+	scalar("inca_kernel_budget", "gauge", "Process-wide tensor worker budget.", snap.KernelBudget)
+	scalar("inca_kernel_invocations_total", "counter", "Parallel-kernel invocations.", snap.Kernels.Invocations)
+	scalar("inca_kernel_serial_total", "counter", "Kernel invocations that ran single-chunk.", snap.Kernels.Serial)
+	scalar("inca_kernel_chunks_total", "counter", "Work chunks executed by kernels.", snap.Kernels.Chunks)
+	scalar("inca_kernel_items_total", "counter", "Work items covered by kernel chunks.", snap.Kernels.Items)
+
+	scalar("inca_runtime_goroutines", "gauge", "Live goroutines.", snap.Runtime.Goroutines)
+	scalar("inca_runtime_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.", snap.Runtime.HeapAllocB)
+	scalar("inca_runtime_heap_sys_bytes", "gauge", "Heap memory obtained from the OS.", snap.Runtime.HeapSysB)
+	scalar("inca_runtime_gc_cycles_total", "counter", "Completed GC cycles.", snap.Runtime.GCCycles)
+	scalar("inca_runtime_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause.", snap.Runtime.GCPauseTotal)
+
+	scalar("inca_trace_spans", "gauge", "Spans retained in the trace ring.", snap.TraceSpans)
+	scalar("inca_trace_spans_total", "counter", "Spans emitted through the trace ring.", snap.TraceSpansTotal)
+	return err
 }

@@ -5,11 +5,23 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"github.com/inca-arch/inca/internal/obs"
 )
 
-// requestIDHeader carries the request's correlation ID on the response
-// (and is honored on the request, so callers can supply their own).
-const requestIDHeader = "X-Request-Id"
+// Correlation headers. The request ID is honored on the request so
+// callers can supply their own; traceparent is the W3C trace-context
+// header continuing a caller's distributed trace, and X-Trace-Id is the
+// convenience echo of the root span's trace ID (also in error bodies).
+const (
+	requestIDHeader   = "X-Request-Id"
+	traceparentHeader = "traceparent"
+	traceIDHeader     = "X-Trace-Id"
+)
+
+// SpanRequest is the root span covering one HTTP exchange; every sweep-
+// and sim-layer span of the request nests beneath it.
+const SpanRequest = "serve/request"
 
 // reqSeq numbers requests process-wide; IDs stay unique across the many
 // Server instances tests spin up.
@@ -40,7 +52,8 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // instrument wraps the route mux with the service-wide middleware stack:
-// request IDs, panic recovery, metrics, and structured access logs.
+// request IDs, the tracing root span, panic recovery, metrics, and
+// structured access logs.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -51,6 +64,25 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		w.Header().Set(requestIDHeader, id)
 		s.metrics.requests.Add(1)
 
+		// Root span: continue the caller's trace when the request carries
+		// a valid traceparent, else start a fresh one. The response's
+		// traceparent/X-Trace-Id headers and the error body's trace_id
+		// let the caller fetch the trace from /v1/trace/{id} afterwards.
+		var span *obs.Span
+		if t := s.opt.Tracer; t != nil {
+			ctx := r.Context()
+			if traceID, spanID, ok := obs.ParseTraceparent(r.Header.Get(traceparentHeader)); ok {
+				ctx = obs.WithRemoteParent(ctx, traceID, spanID)
+			}
+			ctx, span = t.Start(ctx, SpanRequest,
+				obs.String("method", r.Method),
+				obs.String("path", r.URL.Path),
+				obs.String("request_id", id))
+			w.Header().Set(traceparentHeader, span.Traceparent())
+			w.Header().Set(traceIDHeader, span.TraceID())
+			r = r.WithContext(ctx)
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -60,14 +92,18 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 					http.Error(sw, fmt.Sprintf(`{"error":"internal: %v"}`, rec), http.StatusInternalServerError)
 				}
 				s.log.Error("panic", "id", id, "method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+				span.SetAttr(obs.String("panic", fmt.Sprint(rec)))
 			}
 			if sw.status == 0 {
 				sw.status = http.StatusOK
 			}
 			d := time.Since(start)
 			s.metrics.observe(sw.status, d)
+			span.SetAttr(obs.Int("status", sw.status), obs.Int64("bytes", sw.bytes))
+			span.End()
 			s.log.Info("request",
 				"id", id,
+				"trace", span.TraceID(),
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", sw.status,

@@ -28,11 +28,13 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 )
@@ -78,6 +80,25 @@ type Options struct {
 	// Logger receives structured access and lifecycle logs. nil discards
 	// them (library embedders opt in; cmd/inca-serve passes a real one).
 	Logger *slog.Logger
+	// Tracer, when non-nil, gives every request a root span
+	// (serve/request) that nests the sweep- and sim-layer spans beneath
+	// it. Incoming W3C traceparent headers continue the caller's trace;
+	// responses carry traceparent and X-Trace-Id, error bodies a
+	// trace_id field, and GET /v1/trace/{id} serves the tracer's ring.
+	// nil disables tracing at the cost of one nil check per request.
+	Tracer *obs.Tracer
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU, so production
+	// servers opt in explicitly (the -pprof flag in cmd/inca-serve).
+	EnablePprof bool
+	// LatencyBuckets overrides the request-latency histogram's bucket
+	// upper bounds (seconds, ascending; a +Inf overflow bucket is always
+	// appended). nil means DefaultLatencyBuckets.
+	LatencyBuckets []float64
+	// SweepRetry is the per-cell retry policy threaded into every
+	// request's sweep run, so transient faults (opt.Inject chaos, flaky
+	// cells) retry server-side instead of failing the request.
+	SweepRetry sweep.RetryPolicy
 }
 
 // withDefaults resolves every unset option.
@@ -109,6 +130,9 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if o.LatencyBuckets == nil {
+		o.LatencyBuckets = DefaultLatencyBuckets()
+	}
 	return o
 }
 
@@ -134,7 +158,7 @@ func New(opt Options) *Server {
 		log:     opt.Logger,
 		cache:   opt.Cache,
 		admit:   newAdmission(opt.MaxInflight, opt.QueueDepth),
-		metrics: newMetrics(),
+		metrics: newMetrics(opt.LatencyBuckets),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -142,10 +166,18 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleLiveness)
 	mux.HandleFunc("GET /healthz/live", s.handleLiveness)
 	mux.HandleFunc("GET /healthz/ready", s.handleReadiness)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opt.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = s.instrument(s.chaos(mux))
 	s.ready.Store(true)
 	return s
@@ -160,6 +192,22 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Cache returns the server's simulation cache.
 func (s *Server) Cache() *sweep.Cache { return s.cache }
+
+// Tracer returns the server's tracer, nil when tracing is disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.opt.Tracer }
+
+// sweepOptions assembles the engine options for one admitted request:
+// the given worker budget, the shared cache, and the server's retry
+// policy and fault injector, so a request's cells retry transient
+// failures exactly like an offline sweep would.
+func (s *Server) sweepOptions(workers int) sweep.Options {
+	return sweep.Options{
+		Workers: workers,
+		Cache:   s.cache,
+		Retry:   s.opt.SweepRetry,
+		Inject:  s.opt.Inject,
+	}
+}
 
 // requestWorkers is the sweep worker-pool size granted to one admitted
 // request: the process-wide kernel budget split across the admission

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/obs"
 )
 
 // Sentinel errors shared by the v2 simulation API. Callers test them with
@@ -61,6 +62,9 @@ func (w wrapped) Simulate(ctx context.Context, net *nn.Network, phase Phase) (re
 	if phase != Inference && phase != Training {
 		return nil, fmt.Errorf("sim: unknown phase %d", int(phase))
 	}
+	ctx, span := obs.StartSpan(ctx, SpanSimulate,
+		obs.String("network", net.Name),
+		obs.String("phase", phase.String()))
 	// Legacy machines panic on inputs they cannot simulate (bad layer
 	// geometry, unsupported shapes). Surface that as a per-call error
 	// instead of letting it unwind a sweep worker goroutine.
@@ -68,6 +72,9 @@ func (w wrapped) Simulate(ctx context.Context, net *nn.Network, phase Phase) (re
 		if r := recover(); r != nil {
 			rep, err = nil, fmt.Errorf("%w: %s/%s: %v", ErrSimulatorPanic, net.Name, phase, r)
 		}
+		span.EndWith(err)
 	}()
-	return w.m.Simulate(net, phase), nil
+	rep = w.m.Simulate(net, phase)
+	traceReport(ctx, rep)
+	return rep, nil
 }

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"context"
+
+	"github.com/inca-arch/inca/internal/obs"
+)
+
+// Span names emitted by the simulation layer. SpanSimulate wraps one
+// whole-network execution; SpanLayer is a leaf span per compute layer
+// whose attributes carry the layer's simulated cost — the same values
+// Report.WriteCSV exports, so a trace reconciles row-for-row with the
+// report's per-layer latency table (pinned by TestTracedLayersMatchCSV).
+const (
+	SpanSimulate = "sim/simulate"
+	SpanLayer    = "sim/layer"
+)
+
+// Leaf-span attribute keys. Latency and energy are the simulated
+// hardware costs (seconds and joules of modeled accelerator time), not
+// wall-clock: spans measure where the simulator spent real time, while
+// these attributes carry what the simulated machine would have spent.
+const (
+	AttrLayer       = "layer"
+	AttrKind        = "kind"
+	AttrLatencyS    = "latency_s"
+	AttrEnergyJ     = "energy_j"
+	AttrUtilization = "utilization"
+)
+
+// traceReport annotates the simulation span carried by ctx with the
+// report's totals and emits one SpanLayer leaf per per-layer result.
+// With no span in the context it costs one context lookup.
+func traceReport(ctx context.Context, rep *Report) {
+	parent := obs.FromContext(ctx)
+	if parent == nil || rep == nil {
+		return
+	}
+	parent.SetAttr(
+		obs.String("arch", rep.Arch),
+		obs.Int("batch", rep.Batch),
+		obs.Int("layers", len(rep.Layers)),
+		obs.Float64(AttrLatencyS, rep.Total.Latency),
+		obs.Float64(AttrEnergyJ, rep.Total.Energy.Total()),
+	)
+	for _, lr := range rep.Layers {
+		_, ls := obs.StartSpan(ctx, SpanLayer,
+			obs.String(AttrLayer, lr.Layer.Name),
+			obs.String(AttrKind, lr.Layer.Kind.String()),
+			obs.Float64(AttrLatencyS, lr.Result.Latency),
+			obs.Float64(AttrEnergyJ, lr.Result.Energy.Total()),
+			obs.Float64(AttrUtilization, lr.Utilization),
+		)
+		ls.End()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/sim"
 )
 
@@ -52,6 +53,10 @@ func NewCache() *Cache {
 // Callers must treat the returned report as immutable: cache hits alias
 // the same *sim.Report.
 func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error)) (rep *sim.Report, cached bool, err error) {
+	// Trace tally: the same hit/miss/expired classification the global
+	// counters record, attributed to the span (if any) this call runs
+	// under — one nil check per call when untraced.
+	span := obs.FromContext(ctx)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
@@ -60,15 +65,18 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 		select {
 		case <-e.ready:
 			c.hits.Add(1)
+			span.Count("cache.hit", 1)
 			return e.rep, true, e.err
 		default:
 		}
 		select {
 		case <-e.ready:
 			c.hits.Add(1)
+			span.Count("cache.hit", 1)
 			return e.rep, true, e.err
 		case <-ctx.Done():
 			c.expired.Add(1)
+			span.Count("cache.expired", 1)
 			return nil, false, ctx.Err()
 		}
 	}
@@ -76,6 +84,7 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
+	span.Count("cache.miss", 1)
 
 	e.rep, e.err = eval()
 	if e.err != nil {

@@ -10,8 +10,21 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/tensor"
+)
+
+// Span names emitted by the engine when the run's context carries a
+// trace (obs.StartSpan is a no-op otherwise). SpanCell covers one
+// cell's whole evaluation — queue wait, every retry, backoff — with
+// attributes for the cell key, attempt count, cached-ness, and
+// queue_wait_s (launch-to-pickup on the worker pool). SpanAttempt is
+// one child per evaluation attempt, so fault-injected retries are
+// visible as separate spans carrying the attempt's error.
+const (
+	SpanCell    = "sweep/cell"
+	SpanAttempt = "sweep/attempt"
 )
 
 // RetryPolicy retries transiently-failed cells with capped exponential
@@ -110,6 +123,11 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 		restoreKernels = func() { tensor.SetParallelism(prev) }
 	}
 
+	// Launch time on the tracer's clock (zero when the run is untraced):
+	// each cell's span reports queue_wait_s — launch-to-pickup latency on
+	// the worker pool — against this reference.
+	launch := obs.ContextTracer(ctx).Now()
+
 	feed := make(chan Cell)
 	out := make(chan Result)
 	var wg sync.WaitGroup
@@ -118,7 +136,7 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 		go func() {
 			defer wg.Done()
 			for cell := range feed {
-				out <- evaluate(ctx, cache, cell, opt)
+				out <- evaluate(ctx, cache, cell, opt, launch)
 			}
 		}()
 	}
@@ -139,9 +157,29 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 // Failure isolation is per cell: a retrying cell backs off on its own
 // worker while the rest of the sweep keeps draining, and a terminal
 // failure lands in this cell's Result without aborting siblings.
-func evaluate(ctx context.Context, cache *Cache, cell Cell, opt Options) Result {
+func evaluate(ctx context.Context, cache *Cache, cell Cell, opt Options, launch time.Time) Result {
 	key := cell.Key()
 	site := "sweep/cell/" + key.String()
+	ctx, span := obs.StartSpan(ctx, SpanCell,
+		obs.String("key", key.String()),
+		obs.String("arch", key.Arch),
+		obs.String("network", key.Network),
+		obs.String("phase", cell.Phase.String()),
+		obs.String("override", cell.Override))
+	if span != nil && !launch.IsZero() {
+		span.SetAttr(obs.Float64("queue_wait_s", span.StartTime().Sub(launch).Seconds()))
+	}
+	res := evaluateAttempts(ctx, cache, cell, key, site, opt)
+	if span != nil {
+		span.SetAttr(obs.Int("attempts", res.Attempts), obs.Bool("cached", res.Cached))
+		span.EndWith(res.Err)
+	}
+	return res
+}
+
+// evaluateAttempts is evaluate's retry loop, running under the cell
+// span (when traced) so each attempt becomes a visible child span.
+func evaluateAttempts(ctx context.Context, cache *Cache, cell Cell, key Key, site string, opt Options) Result {
 	classify := opt.IsTransient
 	if classify == nil {
 		classify = fault.IsTransient
@@ -158,16 +196,18 @@ func evaluate(ctx context.Context, cache *Cache, cell Cell, opt Options) Result 
 			return res
 		}
 		res.Attempts++
-		res.Report, res.Cached, res.Err = cache.Do(ctx, key, func() (*sim.Report, error) {
-			if err := opt.Inject.Hit(ctx, site); err != nil {
+		attemptCtx, attempt := obs.StartSpan(ctx, SpanAttempt, obs.Int("attempt", res.Attempts))
+		res.Report, res.Cached, res.Err = cache.Do(attemptCtx, key, func() (*sim.Report, error) {
+			if err := opt.Inject.Hit(attemptCtx, site); err != nil {
 				return nil, err
 			}
 			s, err := cell.Arch.Build(cell.Config)
 			if err != nil {
 				return nil, err
 			}
-			return s.Simulate(ctx, cell.Network, cell.Phase)
+			return s.Simulate(attemptCtx, cell.Network, cell.Phase)
 		})
+		attempt.EndWith(res.Err)
 		if res.Err == nil || res.Attempts >= maxAttempts || !classify(res.Err) || ctx.Err() != nil {
 			return res
 		}
@@ -175,7 +215,9 @@ func evaluate(ctx context.Context, cache *Cache, cell Cell, opt Options) Result 
 			backoff = fault.NewBackoff(opt.Retry.BaseDelay, retryMaxDelay(opt.Retry),
 				opt.Retry.Seed^keyJitterSeed(key))
 		}
-		if err := fault.Sleep(ctx, backoff.Delay(res.Attempts-1)); err != nil {
+		delay := backoff.Delay(res.Attempts - 1)
+		obs.FromContext(ctx).Event("backoff", obs.Int("attempt", res.Attempts), obs.Float64("delay_s", delay.Seconds()))
+		if err := fault.Sleep(ctx, delay); err != nil {
 			// The context ended mid-backoff: the cell never got its retry,
 			// so it carries the context error like any unexecuted cell.
 			res.Err = err

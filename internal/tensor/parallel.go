@@ -120,6 +120,14 @@ func ParallelChunks(n int, body func(chunk, lo, hi int)) int {
 	if n <= 0 {
 		return 0
 	}
+	chunks := parallelChunks(n, body)
+	if s := statsHook.Load(); s != nil {
+		s.record(n, chunks)
+	}
+	return chunks
+}
+
+func parallelChunks(n int, body func(chunk, lo, hi int)) int {
 	want := Parallelism()
 	if want > n {
 		want = n
@@ -164,6 +172,9 @@ func parallelFor(n int, flopsPerItem int64, body func(lo, hi int)) {
 		return
 	}
 	if flopsPerItem*int64(n) < minParallelFlops {
+		if s := statsHook.Load(); s != nil {
+			s.record(n, 1)
+		}
 		body(0, n)
 		return
 	}

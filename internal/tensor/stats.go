@@ -1,0 +1,76 @@
+package tensor
+
+import "sync/atomic"
+
+// Kernel telemetry
+//
+// KernelStats is the observability hook on the numeric hot path. It is
+// deliberately not a tracing span: kernel calls are far too frequent
+// and too short for per-call span bookkeeping, so the hook is a block
+// of process-wide atomic counters behind a single atomic pointer — one
+// atomic load per kernel entry when disabled (the default), a handful
+// of atomic adds when enabled. No build tags, no locks, no allocation.
+
+// KernelStats counts parallel-kernel activity. All fields are atomics;
+// read a consistent-enough view with Snapshot.
+type KernelStats struct {
+	// Invocations counts entries into the parallel kernel machinery
+	// (ParallelChunks and the parallelFor fast path).
+	Invocations atomic.Int64
+	// Serial counts invocations that ran single-chunk — below the
+	// work threshold or with the worker budget drained.
+	Serial atomic.Int64
+	// Chunks totals the work chunks (tiles) executed; Chunks/Invocations
+	// is the mean worker occupancy per kernel call.
+	Chunks atomic.Int64
+	// Items totals the work items (output rows, batch elements, ...)
+	// the chunks covered.
+	Items atomic.Int64
+}
+
+// record tallies one kernel invocation that split n items into chunks.
+func (s *KernelStats) record(items, chunks int) {
+	s.Invocations.Add(1)
+	s.Chunks.Add(int64(chunks))
+	s.Items.Add(int64(items))
+	if chunks <= 1 {
+		s.Serial.Add(1)
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of a KernelStats block, in the
+// shape the HTTP service's /metrics endpoint exports.
+type StatsSnapshot struct {
+	Invocations int64 `json:"invocations"`
+	Serial      int64 `json:"serial"`
+	Chunks      int64 `json:"chunks"`
+	Items       int64 `json:"items"`
+}
+
+// Snapshot copies the counters. Each field is individually exact; the
+// set is read without a lock, so a snapshot taken mid-kernel may be off
+// by one between related fields. Safe on a nil receiver (all zeros).
+func (s *KernelStats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		Invocations: s.Invocations.Load(),
+		Serial:      s.Serial.Load(),
+		Chunks:      s.Chunks.Load(),
+		Items:       s.Items.Load(),
+	}
+}
+
+// statsHook is the process-wide collector; nil (the default) disables
+// collection at the cost of one atomic pointer load per kernel call.
+var statsHook atomic.Pointer[KernelStats]
+
+// SetStatsHook installs s as the process-wide kernel-stats collector
+// and returns the previous one. Pass nil to disable collection.
+func SetStatsHook(s *KernelStats) *KernelStats {
+	return statsHook.Swap(s)
+}
+
+// StatsHook returns the installed collector, nil when disabled.
+func StatsHook() *KernelStats { return statsHook.Load() }

@@ -1,0 +1,87 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestKernelStatsHook pins the stats hook contract: disabled by default,
+// counters tally invocations/chunks/items when installed, the serial
+// fast path records, and Swap returns the previous hook.
+func TestKernelStatsHook(t *testing.T) {
+	if StatsHook() != nil {
+		t.Fatal("stats hook should be nil by default")
+	}
+	s := &KernelStats{}
+	if prev := SetStatsHook(s); prev != nil {
+		t.Fatalf("previous hook = %v, want nil", prev)
+	}
+	defer SetStatsHook(nil)
+
+	prevPar := SetParallelism(4)
+	defer SetParallelism(prevPar)
+
+	// A parallel invocation: 8 items, budget 4 → up to 4 chunks.
+	chunks := ParallelChunks(8, func(_, lo, hi int) {})
+	snap := s.Snapshot()
+	if snap.Invocations != 1 {
+		t.Fatalf("invocations = %d, want 1", snap.Invocations)
+	}
+	if snap.Items != 8 {
+		t.Fatalf("items = %d, want 8", snap.Items)
+	}
+	if snap.Chunks != int64(chunks) {
+		t.Fatalf("chunks = %d, ParallelChunks reported %d", snap.Chunks, chunks)
+	}
+
+	// The below-threshold serial fast path (parallelFor) records too.
+	parallelFor(3, 1, func(lo, hi int) {})
+	snap = s.Snapshot()
+	if snap.Invocations != 2 || snap.Items != 8+3 {
+		t.Fatalf("after serial fast path: %+v", snap)
+	}
+	if snap.Serial < 1 {
+		t.Fatalf("serial = %d, want >= 1", snap.Serial)
+	}
+
+	// Swap returns the installed hook; collection stops afterwards.
+	if prev := SetStatsHook(nil); prev != s {
+		t.Fatal("SetStatsHook did not return the installed hook")
+	}
+	before := s.Snapshot()
+	ParallelChunks(8, func(_, lo, hi int) {})
+	if after := s.Snapshot(); after != before {
+		t.Fatal("disabled hook still collected")
+	}
+}
+
+// TestKernelStatsNilSnapshot pins nil-receiver safety.
+func TestKernelStatsNilSnapshot(t *testing.T) {
+	var s *KernelStats
+	if snap := s.Snapshot(); snap != (StatsSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v, want zeros", snap)
+	}
+}
+
+// TestKernelStatsConcurrent exercises the counters under the race
+// detector: concurrent kernels recording into one hook must be safe and
+// lose no invocations.
+func TestKernelStatsConcurrent(t *testing.T) {
+	s := &KernelStats{}
+	defer SetStatsHook(SetStatsHook(s))
+	const G, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ParallelChunks(16, func(_, lo, hi int) {})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot().Invocations; got != G*per {
+		t.Fatalf("invocations = %d, want %d", got, G*per)
+	}
+}
