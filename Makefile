@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-sweep serve-smoke chaos trace profile
+.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-sweep serve-smoke chaos trace profile
 
-check: vet build race
+check: vet build race api-surface
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Golden `go doc` diff over every non-internal package: fails when the
+# public API surface drifts from scripts/api_surface.golden. Re-record
+# with `make api-surface-update` after an intentional change.
+api-surface:
+	GO=$(GO) sh scripts/api_surface.sh
+
+api-surface-update:
+	GO=$(GO) sh scripts/api_surface.sh -update
+
 # Tensor-kernel serial-vs-parallel baseline, recorded in the repo root.
 bench:
 	$(GO) run ./cmd/inca-bench -o BENCH_PR2.json
+
+# Dataflow/auto-tuner era baseline for this PR, recorded in the repo root.
+bench-pr6:
+	$(GO) run ./cmd/inca-bench -o BENCH_PR6.json
 
 # Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
 bench-sweep:

@@ -10,10 +10,12 @@
 //	inca-sim -model VGG16 -arch inca -phase training -batch 64 -layers
 //	inca-sim -model MobileNetV2 -arch baseline -timeline
 //	inca-sim -model ResNet18 -arch gpu
+//	inca-sim -model LeNet5 -arch os
 //	inca-sim -model LeNet5 -placement -csv trace.csv
 //	inca-sim -model VGG16 -config my-accelerator.json
-//	inca-sim -model VGG16,ResNet18 -arch inca,baseline,gpu -phase inference,training -jobs 8
+//	inca-sim -model VGG16,ResNet18 -arch inca,baseline,gpu,os -phase inference,training -jobs 8
 //	inca-sim -model VGG16 -arch inca -timeout 30s
+//	inca-sim -model LeNet5 -tune
 package main
 
 import (
@@ -46,7 +48,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("inca-sim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	model := fs.String("model", "ResNet18", "network (comma list sweeps): VGG16, VGG19, ResNet18, ResNet50, MobileNetV2, MNasNet, AlexNet, VGG16-CIFAR, ResNet18-CIFAR, LeNet5")
-	archNames := fs.String("arch", "inca", "architecture (comma list sweeps): inca, baseline, gpu")
+	archNames := fs.String("arch", "inca", "architecture (comma list sweeps): inca, baseline, os, gpu, or any registered dataflow ID")
+	tuneFlag := fs.Bool("tune", false, "run the mapping auto-tuner over -arch dataflows and print the Pareto frontier")
 	phaseNames := fs.String("phase", "inference", "phase (comma list sweeps): inference, training")
 	batch := fs.Int("batch", 64, "batch size")
 	jobs := fs.Int("jobs", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
@@ -108,6 +111,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		custom = &loaded
 	}
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *tuneFlag {
+		// -arch narrows the tuner's dataflow set only when set explicitly;
+		// by default the search covers every registered backend.
+		var dataflows []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "arch" {
+				dataflows = splitList(*archNames)
+			}
+		})
+		opt := inca.TuneOptions{Dataflows: dataflows, Phases: phases, Workers: *jobs}
+		for _, net := range nets {
+			fronts, err := inca.TuneSearch(ctx, net, opt)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			for _, f := range fronts {
+				fmt.Fprintln(stdout, f)
+			}
+		}
+		return 0
+	}
+
 	var archs []inca.SweepArch
 	for _, name := range splitList(*archNames) {
 		var cfg inca.Config
@@ -116,24 +148,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			cfg = inca.DefaultINCA()
 		case "baseline":
 			cfg = inca.DefaultBaseline()
+		case "os":
+			cfg = inca.DefaultOutStationary()
 		case "gpu":
 			archs = append(archs, inca.SweepGPU())
 			continue
 		default:
-			fmt.Fprintf(stderr, "unknown arch %q\n", name)
-			return 2
+			a, err := inca.SweepDataflow(name)
+			if err != nil {
+				fmt.Fprintf(stderr, "unknown arch %q\n", name)
+				return 2
+			}
+			archs = append(archs, a)
+			continue
 		}
 		if custom != nil {
 			cfg = *custom
 		}
 		cfg.BatchSize = *batch
 		archs = append(archs, inca.SweepConfig(cfg))
-	}
-
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
 	}
 
 	plan := inca.SweepPlan{Archs: archs, Networks: nets, Phases: phases}

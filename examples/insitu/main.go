@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"github.com/inca-arch/inca"
 )
@@ -58,7 +60,14 @@ func main() {
 		100*float64(correct)/float64(testSet.Len()))
 
 	// Endurance outlook (§VI): how long do the activation cells last?
-	rep := inca.NewINCA(inca.DefaultINCA()).Simulate(mustModel("ResNet18"), inca.Training)
+	sim, err := inca.NewMachine("is", inca.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sim.Simulate(context.Background(), mustModel("ResNet18"), inca.Training)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, dev := range inca.DeviceCandidates() {
 		p := inca.AnalyzeEndurance("INCA", inca.Training, dev, rep.Total.Latency)
 		fmt.Printf("lifetime on %-18s %8.1f years of continuous training\n",

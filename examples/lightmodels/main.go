@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,8 +16,15 @@ import (
 )
 
 func main() {
-	incaMachine := inca.NewINCA(inca.DefaultINCA())
-	baseMachine := inca.NewBaseline(inca.DefaultBaseline())
+	ctx := context.Background()
+	incaMachine, err := inca.NewMachine("is", inca.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseMachine, err := inca.NewMachine("ws", inca.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("network       WS util   INCA util   energy-gain   speedup (training)")
 	for _, name := range []string{"VGG16", "ResNet50", "MobileNetV2", "MNasNet"} {
@@ -24,8 +32,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ir := incaMachine.Simulate(net, inca.Training)
-		br := baseMachine.Simulate(net, inca.Training)
+		ir, err := incaMachine.Simulate(ctx, net, inca.Training)
+		if err != nil {
+			log.Fatal(err)
+		}
+		br, err := baseMachine.Simulate(ctx, net, inca.Training)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cmp := inca.Compare(ir, br)
 		fmt.Printf("%-12s  %6.1f%%   %7.1f%%   %9.1fx   %9.1fx\n",
 			name, 100*br.Utilization(), 100*ir.Utilization(),
@@ -34,7 +48,10 @@ func main() {
 
 	fmt.Println("\nWhy: per-layer WS utilization of MobileNetV2's depthwise stages")
 	net, _ := inca.Model("MobileNetV2")
-	br := baseMachine.Simulate(net, inca.Inference)
+	br, err := baseMachine.Simulate(ctx, net, inca.Inference)
+	if err != nil {
+		log.Fatal(err)
+	}
 	shown := 0
 	for _, lr := range br.Layers {
 		if lr.Layer.Kind.String() != "dwconv" || shown >= 5 {

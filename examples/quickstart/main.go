@@ -19,15 +19,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	incaSim, err := inca.New(inca.DefaultINCA())
+	incaSim, err := inca.NewMachine("is", inca.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseSim, err := inca.New(inca.DefaultBaseline())
+	baseSim, err := inca.NewMachine("ws", inca.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gpuSim := inca.NewGPUSimulator()
+	gpuSim, err := inca.NewMachine("gpu", inca.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, phase := range []inca.Phase{inca.Inference, inca.Training} {
 		fmt.Printf("--- %s on %s (batch 64) ---\n", phase, net.Name)

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"github.com/inca-arch/inca"
 )
@@ -30,12 +32,27 @@ func main() {
 	}
 
 	// What would a training batch of LeNet5-class work cost in hardware?
+	ctx := context.Background()
 	hwNet, _ := inca.Model("LeNet5")
-	ir := inca.NewINCA(inca.DefaultINCA()).Simulate(hwNet, inca.Training)
-	br := inca.NewBaseline(inca.DefaultBaseline()).Simulate(hwNet, inca.Training)
+	ir, err := simulate(ctx, "is", hwNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	br, err := simulate(ctx, "ws", hwNet)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cmp := inca.Compare(ir, br)
 	fmt.Printf("\nhardware estimate for one %s training batch:\n", hwNet.Name)
 	fmt.Println("  INCA:    ", ir)
 	fmt.Println("  baseline:", br)
 	fmt.Printf("  advantage: %.1fx energy, %.1fx speed\n", cmp.EnergyRatio, cmp.Speedup)
+}
+
+func simulate(ctx context.Context, dataflow string, net *inca.Network) (*inca.Report, error) {
+	m, err := inca.NewMachine(dataflow, inca.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return m.Simulate(ctx, net, inca.Training)
 }

@@ -6,19 +6,25 @@
 //	"INCA: Input-stationary Dataflow at Outside-the-box Thinking about
 //	 Deep Learning Accelerators", Kim, Li & Li, HPCA 2023.
 //
-// Quickstart (v2 API — context-aware, error-returning):
+// Quickstart (v3 API — dataflow registry, context-aware):
 //
-//	sim, err := inca.New(inca.DefaultINCA())
+//	sim, err := inca.NewMachine("is", inca.Config{})
 //	net, _ := inca.Model("ResNet18")
 //	rep, err := sim.Simulate(ctx, net, inca.Inference)
 //	fmt.Println(rep)
 //
 // Compare against the WS baseline:
 //
-//	base, _ := inca.New(inca.DefaultBaseline())
+//	base, _ := inca.NewMachine("ws", inca.Config{})
 //	baseRep, _ := base.Simulate(ctx, net, inca.Inference)
 //	cmp := inca.Compare(rep, baseRep)
 //	fmt.Printf("%.1fx energy, %.1fx speed\n", cmp.EnergyRatio, cmp.Speedup)
+//
+// Machines are constructed through the pluggable dataflow registry —
+// input-stationary ("is"), weight-stationary ("ws"), output-stationary
+// ("os"), and the GPU roofline ("gpu") are peers; Dataflows() lists
+// them. TuneSearch runs the mapping auto-tuner over the registry and
+// returns per-network Pareto frontiers (energy × latency × area).
 package inca
 
 import (
@@ -32,6 +38,7 @@ import (
 	"github.com/inca-arch/inca/internal/baseline"
 	"github.com/inca-arch/inca/internal/client"
 	"github.com/inca-arch/inca/internal/core"
+	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/data"
 	"github.com/inca-arch/inca/internal/endure"
@@ -48,6 +55,7 @@ import (
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 	"github.com/inca-arch/inca/internal/train"
+	"github.com/inca-arch/inca/internal/tune"
 )
 
 // Phase selects inference or training simulation.
@@ -69,6 +77,11 @@ func DefaultINCA() Config { return arch.INCA() }
 // DefaultBaseline returns the paper's 2D WS baseline: 128×128 crossbars,
 // 8-bit ADCs, the same memory system.
 func DefaultBaseline() Config { return arch.Baseline() }
+
+// DefaultOutStationary returns the output-stationary comparison point:
+// iso-capacity with the WS baseline but operated MAC-DO-style, with
+// in-array accumulators and both operands streaming.
+func DefaultOutStationary() Config { return arch.OutStationary() }
 
 // Network is a shape-level DNN description.
 type Network = nn.Network
@@ -98,6 +111,13 @@ var (
 	// ErrZeroBatch reports a report whose batch size is not positive, so
 	// per-image quantities are undefined.
 	ErrZeroBatch = sim.ErrZeroBatch
+	// ErrUnknownDataflow reports a NewMachine dataflow name no backend
+	// registered (see Dataflows for the live list).
+	ErrUnknownDataflow = dataflow.ErrUnknownDataflow
+	// ErrUnsupportedPhase reports a simulation phase outside a
+	// dataflow's capabilities (e.g. training on the output-stationary
+	// backend).
+	ErrUnsupportedPhase = dataflow.ErrUnsupportedPhase
 )
 
 // Simulator is the v2 simulation interface: it propagates context
@@ -109,23 +129,100 @@ type Simulator interface {
 	Simulate(ctx context.Context, net *Network, phase Phase) (*Report, error)
 }
 
+// DataflowInfo describes one registered dataflow backend: its ID (the
+// NewMachine name), display name, supported phases, and whether its
+// configuration is tunable.
+type DataflowInfo = dataflow.Capabilities
+
+// Mapping is one point in a dataflow's mapping space: crossbar tile
+// dimensions, 3D plane depth, and the loop order the backend applies.
+// The zero Mapping is the backend's default configuration.
+type Mapping = dataflow.Mapping
+
+// Dataflows lists every registered dataflow backend, sorted by ID.
+// The IDs are the names NewMachine accepts: "is" (input-stationary
+// INCA), "ws" (weight-stationary baseline), "os" (output-stationary),
+// "gpu" (Titan RTX roofline).
+func Dataflows() []DataflowInfo {
+	all := dataflow.All()
+	infos := make([]DataflowInfo, len(all))
+	for i, d := range all {
+		infos[i] = d.Capabilities()
+	}
+	return infos
+}
+
+// MachineOption configures NewMachine.
+type MachineOption func(*machineOptions)
+
+type machineOptions struct {
+	batch   int
+	mapping Mapping
+}
+
+// WithBatch overrides the configuration's batch size.
+func WithBatch(n int) MachineOption { return func(o *machineOptions) { o.batch = n } }
+
+// WithMapping applies a mapping point from the dataflow's search space
+// (see TuneSearch) to the base configuration before construction.
+func WithMapping(m Mapping) MachineOption { return func(o *machineOptions) { o.mapping = m } }
+
+// NewMachine builds a simulator for a named dataflow backend from the
+// registry. Passing the zero Config uses the dataflow's default
+// configuration (the paper's design point); a non-zero Config is
+// validated by the backend. Names are matched case-insensitively and
+// legacy architecture names ("INCA", "WS-Baseline", "TitanRTX")
+// normalize to their dataflow IDs. It returns ErrUnknownDataflow for an
+// unregistered name.
+//
+//	m, err := inca.NewMachine("os", inca.Config{}, inca.WithBatch(8))
+func NewMachine(dataflowID string, cfg Config, opts ...MachineOption) (Simulator, error) {
+	d, err := dataflow.Get(dataflowID)
+	if err != nil {
+		return nil, err
+	}
+	var o machineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if cfg == (Config{}) {
+		cfg = d.DefaultConfig()
+	}
+	if !o.mapping.IsZero() {
+		cfg = d.Apply(cfg, o.mapping)
+	}
+	if o.batch > 0 {
+		cfg.BatchSize = o.batch
+	}
+	return d.New(cfg)
+}
+
 // New builds the simulator for a configuration, selecting the
 // input-stationary model or the WS baseline by its Dataflow field. It
 // returns an error for an invalid configuration (where the deprecated
 // constructors panic).
+//
+// Deprecated: use NewMachine(dataflow, cfg), which selects any
+// registered backend by name instead of only IS/WS by enum.
 func New(cfg Config) (Simulator, error) {
-	if err := cfg.Validate(); err != nil {
+	d, err := dataflow.Get(dataflow.FromConfig(cfg))
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Dataflow == arch.InputStationary {
-		return sim.Wrap(core.New(cfg)), nil
-	}
-	return sim.Wrap(baseline.New(cfg)), nil
+	return d.New(cfg)
 }
 
 // NewGPUSimulator builds the Titan RTX roofline model of Fig. 15 behind
 // the v2 interface.
-func NewGPUSimulator() Simulator { return sim.Wrap(gpu.New(gpu.TitanRTX())) }
+//
+// Deprecated: use NewMachine("gpu", inca.Config{}).
+func NewGPUSimulator() Simulator {
+	s, err := NewMachine("gpu", Config{})
+	if err != nil {
+		panic(err) // unreachable: the gpu backend registers at init
+	}
+	return s
+}
 
 // Machine is the legacy context-free simulation interface.
 //
@@ -139,20 +236,20 @@ type Machine interface {
 
 // NewINCA builds the input-stationary accelerator simulator.
 //
-// Deprecated: use New(cfg), which validates cfg instead of panicking and
-// returns the context-aware Simulator.
+// Deprecated: use NewMachine("is", cfg), which validates cfg instead of
+// panicking and returns the context-aware Simulator.
 func NewINCA(cfg Config) Machine { return core.New(cfg) }
 
 // NewBaseline builds the weight-stationary baseline simulator.
 //
-// Deprecated: use New(cfg), which validates cfg instead of panicking and
-// returns the context-aware Simulator.
+// Deprecated: use NewMachine("ws", cfg), which validates cfg instead of
+// panicking and returns the context-aware Simulator.
 func NewBaseline(cfg Config) Machine { return baseline.New(cfg) }
 
 // NewGPU builds the Titan RTX roofline model of Fig. 15.
 //
-// Deprecated: use NewGPUSimulator, which returns the context-aware
-// Simulator.
+// Deprecated: use NewMachine("gpu", inca.Config{}), which returns the
+// context-aware Simulator.
 func NewGPU() Machine { return gpu.New(gpu.TitanRTX()) }
 
 // GPUArea returns the GPU die area (mm²) for iso-area comparisons.
@@ -520,6 +617,14 @@ func SweepBaseline() SweepArch { return sweep.BaselineArch() }
 // SweepGPU returns the Titan RTX roofline model as a sweep axis.
 func SweepGPU() SweepArch { return sweep.GPUArch() }
 
+// SweepOutStat returns the output-stationary comparison point as a
+// sweep axis.
+func SweepOutStat() SweepArch { return sweep.OutStatArch() }
+
+// SweepDataflow returns a registered dataflow's default configuration as
+// a sweep axis, or ErrUnknownDataflow for an unregistered name.
+func SweepDataflow(id string) (SweepArch, error) { return sweep.DataflowArch(id) }
+
 // SweepConfig wraps an explicit configuration as a sweep axis, selecting
 // the IS or WS model by its Dataflow field.
 func SweepConfig(cfg Config) SweepArch { return sweep.ConfigArch(cfg) }
@@ -542,6 +647,31 @@ func RunSweep(ctx context.Context, p SweepPlan, opt SweepOptions) ([]SweepResult
 // order; the channel closes once every cell has reported.
 func StreamSweep(ctx context.Context, p SweepPlan, opt SweepOptions) (<-chan SweepResult, error) {
 	return sweep.Stream(ctx, p, opt)
+}
+
+// --- Mapping auto-tuner (per-network Pareto frontiers) ---
+
+type (
+	// TuneOptions bounds a TuneSearch: which dataflows and phases to
+	// search, the per-dataflow candidate cap, sweep worker count, a
+	// shareable cache, and a retry policy for transient failures.
+	TuneOptions = tune.Options
+	// TuneCandidate is one evaluated (dataflow, mapping) point with its
+	// energy/latency/area objectives.
+	TuneCandidate = tune.Candidate
+	// TuneFrontier is one (network, phase) Pareto frontier: the
+	// non-dominated candidates sorted by ascending energy.
+	TuneFrontier = tune.Frontier
+)
+
+// TuneSearch enumerates every registered dataflow's legal mapping
+// points for the network (crossbar tile shapes, 3D plane depths, loop
+// orders, bounded by multiplex and buffer capacity), evaluates them on
+// the sweep engine, and returns one energy × latency × area Pareto
+// frontier per requested phase. The zero TuneOptions searches every
+// dataflow at inference.
+func TuneSearch(ctx context.Context, net *Network, opt TuneOptions) ([]TuneFrontier, error) {
+	return tune.Search(ctx, net, opt)
 }
 
 // --- HTTP simulation service (cmd/inca-serve's substrate) ---

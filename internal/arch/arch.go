@@ -21,14 +21,19 @@ type Dataflow int
 const (
 	WeightStationary Dataflow = iota
 	InputStationary
+	OutputStationary
 )
 
 // String returns the dataflow's display name.
 func (d Dataflow) String() string {
-	if d == WeightStationary {
+	switch d {
+	case WeightStationary:
 		return "WS"
+	case OutputStationary:
+		return "OS"
+	default:
+		return "IS"
 	}
-	return "IS"
 }
 
 // Config describes one accelerator instance (one column of Table II).
@@ -152,6 +157,21 @@ func Baseline() Config {
 		CellsPerFootprint: 1,
 		WriteReadOverlap:  false,
 	}
+}
+
+// OutStationary returns the output-stationary comparison point: a 2D
+// crossbar organization iso-capacity with the WS baseline, but operated
+// MAC-DO-style — partial sums accumulate in place at the array and each
+// output element is converted exactly once, while inputs and weights
+// both stream. The tile aspect (SubarrayRows × SubarrayCols) is the
+// mapping knob: rows bound the output-position tile, columns the
+// output-channel tile, so reshaping the array trades weight refetches
+// against input refetches.
+func OutStationary() Config {
+	c := Baseline()
+	c.Name = "OS-Baseline"
+	c.Dataflow = OutputStationary
+	return c
 }
 
 // Validate checks structural invariants of the configuration.

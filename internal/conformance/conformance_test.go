@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/dataflow"
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+
+	_ "github.com/inca-arch/inca/internal/baseline"
+	_ "github.com/inca-arch/inca/internal/core"
+	_ "github.com/inca-arch/inca/internal/gpu"
+	_ "github.com/inca-arch/inca/internal/outstat"
+)
+
+// TestRegisteredDataflows runs the shared invariant table against every
+// backend in the registry — the check that keeps IS/WS/OS/GPU from
+// drifting apart.
+func TestRegisteredDataflows(t *testing.T) {
+	ids := dataflow.IDs()
+	if len(ids) < 4 {
+		t.Fatalf("registry has %v, want at least is/ws/os/gpu", ids)
+	}
+	for _, d := range dataflow.All() {
+		if strings.HasPrefix(d.ID(), "stub-") {
+			continue // test-local registrations from sibling tests
+		}
+		d := d
+		t.Run(d.ID(), func(t *testing.T) {
+			t.Parallel()
+			Run(t, d)
+		})
+	}
+}
+
+// panicMachine is a legacy machine that always panics, standing in for
+// the real backends' behavior on unsupported layer geometry.
+type panicMachine struct{}
+
+func (panicMachine) Simulate(net *nn.Network, phase sim.Phase) *sim.Report {
+	panic("unsupported layer geometry")
+}
+
+// TestPanicRecovery pins the ErrSimulatorPanic pipeline all dataflows
+// share through sim.WrapID: a panicking machine surfaces as a per-call
+// error naming the dataflow, never as an unwound goroutine.
+func TestPanicRecovery(t *testing.T) {
+	s := sim.WrapID(panicMachine{}, "stub")
+	_, err := s.Simulate(context.Background(), nn.LeNet5(), sim.Inference)
+	if !errors.Is(err, sim.ErrSimulatorPanic) {
+		t.Fatalf("got %v, want ErrSimulatorPanic", err)
+	}
+	if !strings.Contains(err.Error(), "stub") {
+		t.Errorf("panic error %q does not name the dataflow", err)
+	}
+}
+
+// stubDataflow registers a throwaway backend to pin the registry's
+// duplicate and lookup behavior without touching the real IDs.
+type stubDataflow struct{ id string }
+
+func (s stubDataflow) ID() string { return s.id }
+func (s stubDataflow) Capabilities() dataflow.Capabilities {
+	return dataflow.Capabilities{ID: s.id, Name: "Stub " + s.id, Phases: []sim.Phase{sim.Inference}}
+}
+func (stubDataflow) DefaultConfig() arch.Config { return arch.Config{} }
+func (stubDataflow) New(arch.Config) (sim.Simulator, error) {
+	return sim.WrapID(panicMachine{}, "stub"), nil
+}
+func (stubDataflow) Area(arch.Config) float64 { return 1 }
+func (stubDataflow) LayerCost(arch.Config, nn.Layer, sim.Phase) (metrics.Result, error) {
+	return metrics.Result{}, nil
+}
+func (stubDataflow) Mappings(arch.Config, *nn.Network) []dataflow.Mapping {
+	return []dataflow.Mapping{{}}
+}
+func (stubDataflow) Apply(base arch.Config, _ dataflow.Mapping) arch.Config { return base }
+
+func TestRegistryLookup(t *testing.T) {
+	dataflow.Register(stubDataflow{id: "stub-conf"})
+	if _, err := dataflow.Get("STUB-CONF"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := dataflow.Get("stub conf nonexistent"); !errors.Is(err, dataflow.ErrUnknownDataflow) {
+		t.Errorf("unknown ID: got %v, want ErrUnknownDataflow", err)
+	}
+	if id, ok := dataflow.Normalize("no-such-dataflow"); ok {
+		t.Errorf("unexpected alias hit %q", id)
+	}
+	if id, ok := dataflow.Normalize("INCA"); !ok || id != "is" {
+		t.Errorf("Normalize(INCA) = %q, %v; want is, true", id, ok)
+	}
+	if id, ok := dataflow.Normalize("WS-Baseline"); !ok || id != "ws" {
+		t.Errorf("Normalize(WS-Baseline) = %q, %v; want ws, true", id, ok)
+	}
+	if id, ok := dataflow.Normalize("TitanRTX"); !ok || id != "gpu" {
+		t.Errorf("Normalize(TitanRTX) = %q, %v; want gpu, true", id, ok)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate Register did not panic")
+		}
+	}()
+	dataflow.Register(stubDataflow{id: "stub-conf"})
+}

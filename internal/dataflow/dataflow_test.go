@@ -1,0 +1,62 @@
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+func TestMappingLabel(t *testing.T) {
+	cases := []struct {
+		m    Mapping
+		want string
+	}{
+		{Mapping{}, "base"},
+		{Mapping{Rows: 128, Cols: 128}, "128x128"},
+		{Mapping{Rows: 16, Cols: 16, Planes: 64}, "16x16x64"},
+		{Mapping{Rows: 32, Cols: 512, LoopOrder: "input-reuse"}, "32x512/input-reuse"},
+	}
+	for _, c := range cases {
+		if got := c.m.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+func TestFromConfig(t *testing.T) {
+	if got := FromConfig(arch.Config{Dataflow: arch.InputStationary}); got != "is" {
+		t.Errorf("IS -> %q", got)
+	}
+	if got := FromConfig(arch.Config{Dataflow: arch.WeightStationary}); got != "ws" {
+		t.Errorf("WS -> %q", got)
+	}
+	if got := FromConfig(arch.Config{Dataflow: arch.OutputStationary}); got != "os" {
+		t.Errorf("OS -> %q", got)
+	}
+}
+
+type okSim struct{}
+
+func (okSim) Simulate(ctx context.Context, net *nn.Network, phase sim.Phase) (*sim.Report, error) {
+	return &sim.Report{Arch: "ok", Phase: phase, Batch: 1}, nil
+}
+
+func TestGuardPhases(t *testing.T) {
+	g := GuardPhases(okSim{}, "test-df", sim.Inference)
+	if _, err := g.Simulate(context.Background(), nil, sim.Inference); err != nil {
+		t.Errorf("allowed phase rejected: %v", err)
+	}
+	_, err := g.Simulate(context.Background(), nil, sim.Training)
+	if !errors.Is(err, ErrUnsupportedPhase) {
+		t.Errorf("blocked phase: got %v, want ErrUnsupportedPhase", err)
+	}
+	// Unknown phases pass through for the inner simulator's own
+	// validation, keeping error shapes uniform across dataflows.
+	if _, err := g.Simulate(context.Background(), nil, sim.Phase(42)); err != nil {
+		t.Errorf("unknown phase short-circuited by guard: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package outstat implements the third dataflow peer: an
+// output-stationary 2D accelerator in the style of MAC-DO (see
+// PAPERS.md). Each output element owns an in-array accumulator; partial
+// products accumulate in place over the whole reduction dimension while
+// BOTH operands stream past — inputs along rows, weights along columns
+// — and every output is converted exactly once at the end of its
+// accumulation. That inverts the WS cost structure: the per-cycle
+// full-column ADC scans of ISAAC disappear (one conversion per output
+// element instead of one per column per input-bit cycle), but neither
+// operand is resident, so the memory hierarchy pays operand refetches
+// per crossbar block.
+//
+// The output matrix of a layer — P output positions × N output
+// channels — tiles onto crossbars holding SubarrayRows positions by
+// SubarrayCols/weight-bits channels each. The tile aspect is the
+// mapping knob: weights are refetched once per position block and
+// inputs once per channel block, so tall tiles favor weight reuse and
+// wide tiles favor input reuse. The reduction dimension K (kernel ×
+// input channels) is purely temporal.
+//
+// Accumulating analog partial sums has no gradient path, so the
+// backend is inference-only; the dataflow registry guards the training
+// phase with dataflow.ErrUnsupportedPhase.
+package outstat
+
+import (
+	"github.com/inca-arch/inca/internal/analog"
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/mem"
+	"github.com/inca-arch/inca/internal/metrics"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/noc"
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Machine is a configured output-stationary accelerator.
+type Machine struct {
+	Cfg  arch.Config
+	hier mem.Hierarchy
+	adc  analog.ADC
+	dac  analog.DAC
+	dig  analog.Digital
+	tree noc.HTree
+}
+
+// New builds a machine from a configuration (normally
+// arch.OutStationary()).
+func New(cfg arch.Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic("outstat: " + err.Error())
+	}
+	return &Machine{
+		Cfg:  cfg,
+		hier: mem.Hierarchy{Buf: cfg.Buffer, Dram: cfg.DRAM},
+		adc:  analog.NewADC(cfg.ADCBits),
+		dac:  analog.NewDAC(1),
+		dig:  analog.NewDigital(),
+		tree: noc.Standard(cfg.MacroSize, cfg.TileSize, cfg.Tiles),
+	}
+}
+
+// geometry captures how one layer's output matrix tiles onto the
+// accumulator crossbars.
+type geometry struct {
+	positions int64 // P: output positions (OH×OW, 1 for FC)
+	channels  int64 // N: output channels
+	depth     int64 // K: accumulation length per output element
+	posBlocks int64 // output-position tiles (rows)
+	chBlocks  int64 // output-channel tiles (columns)
+	crossbars int64
+	colsPerCh int64 // accumulator cells per output element (weight bits)
+}
+
+func (m *Machine) layerGeometry(l nn.Layer) geometry {
+	var g geometry
+	g.colsPerCh = int64(m.Cfg.WeightBits / m.Cfg.CellBits)
+	switch l.Kind {
+	case nn.Conv:
+		g.positions = int64(l.OutH) * int64(l.OutW)
+		g.channels = int64(l.OutC)
+		g.depth = int64(l.KH) * int64(l.KW) * int64(l.InC)
+	case nn.Depthwise:
+		// No cross-channel accumulation: each output channel reduces only
+		// its own K×K window.
+		g.positions = int64(l.OutH) * int64(l.OutW)
+		g.channels = int64(l.OutC)
+		g.depth = int64(l.KH) * int64(l.KW)
+	case nn.FC:
+		g.positions = 1
+		g.channels = int64(l.OutC)
+		g.depth = int64(l.InC)
+	default:
+		return g
+	}
+	tp := int64(m.Cfg.SubarrayRows)
+	tn := int64(m.Cfg.SubarrayCols) / g.colsPerCh
+	if tn < 1 {
+		tn = 1
+	}
+	g.posBlocks = (g.positions + tp - 1) / tp
+	g.chBlocks = (g.channels + tn - 1) / tn
+	g.crossbars = g.posBlocks * g.chBlocks
+	return g
+}
+
+// pass charges one inference pass over a layer for a single image.
+func (m *Machine) pass(g geometry, inputBytes, outputBytes int64) metrics.Result {
+	var r metrics.Result
+	if g.positions == 0 || g.depth == 0 {
+		return r
+	}
+	actBits := int64(m.Cfg.ActivationBits)
+	wBits := int64(m.Cfg.WeightBits)
+	dev := m.Cfg.Device
+
+	// --- Array events, per image ---
+	// Each output element accumulates over K steps; a step drives wb
+	// accumulator cells for actBits input-bit cycles. Half the driven
+	// cycles carry a 1 bit on average (bit-serial operands).
+	const activity = 0.5
+	outputs := g.positions * g.channels
+	macEvents := outputs * g.depth * g.colsPerCh * actBits
+	r.Counts.RRAMReads = macEvents
+	// One conversion per output element — the OS amortization that
+	// removes WS's per-cycle column scans.
+	r.Counts.ADCConversions = outputs * g.colsPerCh
+	// Operand delivery: inputs stream along rows (one value feeds every
+	// channel column of its block), weights along columns (one value
+	// feeds every position row of its block); both are refetched once
+	// per block on the other axis, bit-serially through 1-bit drivers.
+	inputDrives := g.depth * g.positions * g.chBlocks * actBits
+	weightDrives := g.depth * g.channels * g.posBlocks * wBits
+	r.Counts.DACConversions = inputDrives + weightDrives
+	// Final shift-accumulate of the converted bit-planes per output.
+	adds := outputs * (g.colsPerCh + actBits)
+	r.Counts.DigitalOps = adds
+	// One settle write per finished accumulator.
+	r.Counts.RRAMWrites = outputs * g.colsPerCh
+
+	r.Energy.Add(metrics.RRAMArray, float64(macEvents)*activity*dev.ReadEnergyAvg())
+	r.Energy.Add(metrics.ADC, m.adc.ConversionEnergy(r.Counts.ADCConversions))
+	r.Energy.Add(metrics.DAC, float64(r.Counts.DACConversions)*activity*m.dac.EnergyPerConv)
+	r.Energy.Add(metrics.Digital, float64(adds)*m.dig.AddEnergy)
+	r.Energy.Add(metrics.RRAMArray, float64(r.Counts.RRAMWrites)*dev.WriteEnergy())
+
+	// Interconnect: streamed operands broadcast across the blocks that
+	// share them through the macro/tile H-tree.
+	bcastIn, _ := m.tree.BroadcastCost(g.chBlocks)
+	bcastW, _ := m.tree.BroadcastCost(g.posBlocks)
+	r.Energy.Add(metrics.Digital,
+		bcastIn*float64(g.depth*g.positions*actBits)*activity+
+			bcastW*float64(g.depth*g.channels*wBits)*activity)
+
+	// --- Memory traffic ---
+	// Inputs: the layer's input map streams once per channel block.
+	inputFetchBits := g.depth * g.positions * actBits * g.chBlocks
+	resIn := m.hier.ResidentFraction(inputBytes)
+	bufJ, dramJ, lat := m.hier.TrafficCost(inputFetchBits, resIn, false)
+	r.Energy.Add(metrics.Buffer, bufJ)
+	r.Energy.Add(metrics.DRAM, dramJ)
+	memLat := lat
+	r.Counts.BufferAccesses += m.Cfg.Buffer.Beats(inputFetchBits)
+	r.Counts.DRAMAccesses += int64(float64(inputFetchBits/8) * (1 - resIn))
+
+	// Weights: the kernel tensor streams once per position block.
+	weightBytes := g.depth * g.channels * wBits / 8
+	weightFetchBits := g.depth * g.channels * wBits * g.posBlocks
+	resW := m.hier.ResidentFraction(weightBytes)
+	bufJ, dramJ, lat = m.hier.TrafficCost(weightFetchBits, resW, false)
+	r.Energy.Add(metrics.Buffer, bufJ)
+	r.Energy.Add(metrics.DRAM, dramJ)
+	memLat += lat
+	r.Counts.BufferAccesses += m.Cfg.Buffer.Beats(weightFetchBits)
+	r.Counts.DRAMAccesses += int64(float64(weightFetchBits/8) * (1 - resW))
+
+	// Outputs: each element saves exactly once (the OS win over WS's
+	// per-position output redirection).
+	saveBits := outputs * actBits
+	resOut := m.hier.ResidentFraction(outputBytes)
+	bufJ, dramJ, lat = m.hier.TrafficCost(saveBits, resOut, true)
+	r.Energy.Add(metrics.Buffer, bufJ)
+	r.Energy.Add(metrics.DRAM, dramJ)
+	memLat += lat
+	r.Counts.BufferAccesses += m.Cfg.Buffer.Beats(saveBits)
+	r.Counts.DRAMAccesses += int64(float64(saveBits/8) * (1 - resOut))
+
+	// --- Latency ---
+	// Crossbars run in parallel; a layer needing more crossbars than the
+	// chip has time-multiplexes. The serial dimension per crossbar is
+	// the K accumulation steps × input-bit cycles; conversions drain
+	// through the shared ADCs once per output.
+	multiplex := (g.crossbars + int64(m.Cfg.Subarrays()) - 1) / int64(m.Cfg.Subarrays())
+	computeTime := float64(g.depth*actBits*multiplex) * dev.ReadPulse
+	adcTime := float64(r.Counts.ADCConversions) * m.adc.ConvLatency / float64(m.Cfg.ADCCount())
+	if adcTime > computeTime {
+		computeTime = adcTime
+	}
+	if memLat > computeTime {
+		r.Latency = memLat
+	} else {
+		r.Latency = computeTime
+	}
+	return r
+}
+
+// forwardLayer returns the per-image forward result for a compute layer.
+func (m *Machine) forwardLayer(l nn.Layer) metrics.Result {
+	g := m.layerGeometry(l)
+	return m.pass(g, l.InputElems(), l.OutputElems())
+}
+
+// utilization returns in-use accumulator cells over allocated cells for
+// a layer.
+func (m *Machine) utilization(l nn.Layer) float64 {
+	g := m.layerGeometry(l)
+	if g.crossbars == 0 {
+		return 0
+	}
+	useful := g.positions * g.channels * g.colsPerCh
+	alloc := g.crossbars * int64(m.Cfg.SubarrayRows) * int64(m.Cfg.SubarrayCols)
+	return float64(useful) / float64(alloc)
+}
+
+// Simulate executes one inference batch. Training is structurally
+// unsupported (analog accumulators have no gradient path); the dataflow
+// adapter rejects it before reaching the machine, and direct callers
+// panic like the other legacy machines do on inputs they cannot run.
+func (m *Machine) Simulate(net *nn.Network, phase sim.Phase) *sim.Report {
+	if phase != sim.Inference {
+		panic("outstat: output-stationary machine supports inference only")
+	}
+	rep := &sim.Report{
+		Arch:    m.Cfg.Name,
+		Network: net.Name,
+		Phase:   phase,
+		Batch:   m.Cfg.BatchSize,
+	}
+	b := int64(m.Cfg.BatchSize)
+
+	var perLayerLat []float64
+	var total metrics.Result
+	for _, l := range net.Layers {
+		if !l.IsCompute() {
+			total = total.Plus(m.postProcess(l))
+			continue
+		}
+		g := m.layerGeometry(l)
+		lr := sim.LayerResult{
+			Layer:          l,
+			Utilization:    m.utilization(l),
+			AllocatedCells: g.crossbars * int64(m.Cfg.SubarrayRows) * int64(m.Cfg.SubarrayCols),
+		}
+		layer := scale(m.forwardLayer(l), float64(b))
+		lr.Result = layer
+		rep.Layers = append(rep.Layers, lr)
+		total = total.Plus(layer)
+		perLayerLat = append(perLayerLat, layer.Latency/float64(b))
+	}
+
+	// Inference pipelines layer-wise like the WS baseline: one image
+	// flows through all layers, subsequent images follow the bottleneck
+	// stage.
+	var sum, max float64
+	for _, t := range perLayerLat {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	total.Latency = sum + float64(b-1)*max
+
+	rep.Total = total
+	return rep
+}
+
+// postProcess charges the digital ReLU / pooling / residual-add units
+// for a non-compute layer (element-wise, pipelined behind the arrays).
+func (m *Machine) postProcess(l nn.Layer) metrics.Result {
+	var r metrics.Result
+	var ops int64
+	switch l.Kind {
+	case nn.ReLU, nn.Add:
+		ops = l.OutputElems()
+	case nn.MaxPool, nn.AvgPool, nn.GlobalAvgPool:
+		ops = l.InputElems()
+	default:
+		return r
+	}
+	ops *= int64(m.Cfg.BatchSize)
+	r.Counts.DigitalOps = ops
+	r.Energy.Add(metrics.Digital, float64(ops)*m.dig.AddEnergy)
+	return r
+}
+
+// scale multiplies a result's energy, latency, and counts by f.
+func scale(r metrics.Result, f float64) metrics.Result {
+	out := metrics.Result{
+		Energy:  r.Energy.Scaled(f),
+		Latency: r.Latency * f,
+	}
+	out.Counts = metrics.Counts{
+		RRAMReads:      int64(float64(r.Counts.RRAMReads) * f),
+		RRAMWrites:     int64(float64(r.Counts.RRAMWrites) * f),
+		ADCConversions: int64(float64(r.Counts.ADCConversions) * f),
+		DACConversions: int64(float64(r.Counts.DACConversions) * f),
+		BufferAccesses: int64(float64(r.Counts.BufferAccesses) * f),
+		DRAMAccesses:   int64(float64(r.Counts.DRAMAccesses) * f),
+		DigitalOps:     int64(float64(r.Counts.DigitalOps) * f),
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestSimulateExplicitDataflow pins the new wire field: an explicit
+// "dataflow" selects the backend, and arch-name spellings of the same
+// backend serve the identical body.
+func TestSimulateExplicitDataflow(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	byDataflow := post(t, ts.URL+"/v1/simulate",
+		`{"dataflow":"is","model":"LeNet5","phase":"inference"}`, nil)
+	if byDataflow.StatusCode != http.StatusOK {
+		t.Fatalf("dataflow request status = %d", byDataflow.StatusCode)
+	}
+	byArch := post(t, ts.URL+"/v1/simulate",
+		`{"arch":"inca","model":"LeNet5","phase":"inference"}`, nil)
+	if byArch.StatusCode != http.StatusOK {
+		t.Fatalf("arch request status = %d", byArch.StatusCode)
+	}
+	a, b := readAll(t, byDataflow), readAll(t, byArch)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("dataflow body differs from arch body:\n%.150s\nvs\n%.150s", a, b)
+	}
+}
+
+// TestSimulateOSDataflow exercises a backend only reachable through the
+// registry: the output-stationary machine, including its phase guard.
+func TestSimulateOSDataflow(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := post(t, ts.URL+"/v1/simulate",
+		`{"dataflow":"os","model":"LeNet5","phase":"inference"}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("OS inference status = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var rep struct {
+		Arch string `json:"arch"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arch != "OS-Baseline" {
+		t.Errorf("arch = %q, want OS-Baseline", rep.Arch)
+	}
+	// Training is structurally unsupported: a typed 500-family error, not
+	// a hang or panic.
+	resp = post(t, ts.URL+"/v1/simulate",
+		`{"dataflow":"os","model":"LeNet5","phase":"training"}`, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("OS training status = %d, want 500", resp.StatusCode)
+	}
+	readAll(t, resp)
+	// Legacy arch names normalize server-side through the registry.
+	resp = post(t, ts.URL+"/v1/simulate",
+		`{"dataflow":"TitanRTX","model":"LeNet5","phase":"inference"}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("legacy name via dataflow field: status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	// Unknown dataflows fail fast with 400.
+	resp = post(t, ts.URL+"/v1/simulate",
+		`{"dataflow":"nonesuch","model":"LeNet5","phase":"inference"}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown dataflow status = %d, want 400", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+// TestSweepDataflowAxes pins the sweep additions: "dataflows" axes join
+// the plan, and only such new-style requests carry per-cell dataflow
+// IDs.
+func TestSweepDataflowAxes(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := post(t, ts.URL+"/v1/sweep",
+		`{"archs":["inca"],"dataflows":["os"],"models":["LeNet5"],"phases":["inference"]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(readAll(t, resp), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Cells) != 2 || sr.Failed != 0 {
+		t.Fatalf("cells = %d, failed = %d", len(sr.Cells), sr.Failed)
+	}
+	want := map[string]string{"INCA": "is", "OS-Baseline": "os"}
+	for _, c := range sr.Cells {
+		if c.Dataflow != want[c.Arch] {
+			t.Errorf("cell %s: dataflow %q, want %q", c.Arch, c.Dataflow, want[c.Arch])
+		}
+	}
+
+	// Legacy body: no dataflow fields anywhere in the response.
+	resp = post(t, ts.URL+"/v1/sweep",
+		`{"archs":["inca"],"models":["LeNet5"],"phases":["inference"]}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy status = %d", resp.StatusCode)
+	}
+	body := readAll(t, resp)
+	if bytes.Contains(body, []byte(`"dataflow"`)) {
+		t.Errorf("legacy sweep body leaks dataflow field: %.200s", body)
+	}
+}
+
+// TestSweepTune pins the auto-tuner endpoint: a TuneSpec returns one
+// Pareto frontier per model × phase.
+func TestSweepTune(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := post(t, ts.URL+"/v1/sweep",
+		`{"models":["ResNet18"],"phases":["inference"],"tune":{"dataflows":["is","os"],"max_per_dataflow":3}}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	body := readAll(t, resp)
+	if !bytes.Contains(body, []byte(`"phase":"inference"`)) {
+		t.Errorf("frontier phase not serialized by name: %.200s", body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Frontiers) != 1 {
+		t.Fatalf("frontiers = %d, want 1", len(sr.Frontiers))
+	}
+	f := sr.Frontiers[0]
+	if f.Network != "ResNet18" || f.Failed != 0 || len(f.Pareto) == 0 {
+		t.Fatalf("frontier = %+v", f)
+	}
+	for _, c := range f.Pareto {
+		if c.Dataflow != "is" && c.Dataflow != "os" {
+			t.Errorf("unexpected dataflow %q on frontier", c.Dataflow)
+		}
+		if c.EnergyJ <= 0 || c.LatencyS <= 0 || c.AreaMM2 <= 0 {
+			t.Errorf("%s: non-positive objective", c.Label)
+		}
+	}
+	// A tune request without models is a 400, not an empty search.
+	resp = post(t, ts.URL+"/v1/sweep", `{"models":[],"phases":[],"tune":{}}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty tune status = %d, want 400", resp.StatusCode)
+	}
+	readAll(t, resp)
+}
+
+// TestModelsListDataflows pins the capability listing on /v1/models.
+func TestModelsListDataflows(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []ModelInfo
+	if err := json.Unmarshal(readAll(t, resp), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("empty model list")
+	}
+	for _, m := range infos {
+		seen := map[string]bool{}
+		for _, id := range m.Dataflows {
+			seen[id] = true
+		}
+		for _, want := range []string{"is", "ws", "os", "gpu"} {
+			if !seen[want] {
+				t.Errorf("%s: missing dataflow %q in %v", m.Name, want, m.Dataflows)
+			}
+		}
+	}
+}

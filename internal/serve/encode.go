@@ -8,18 +8,25 @@ import (
 	"strings"
 
 	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/sweep"
+	"github.com/inca-arch/inca/internal/tune"
 )
 
 // SimulateRequest is the /v1/simulate body: one (config, network, phase)
-// cell. Arch selects a built-in design ("inca", "baseline", "gpu");
-// Config, when present, replaces the built-in configuration entirely
-// (its Dataflow field selects the model, exactly like the v2 facade).
+// cell. Dataflow selects a registered backend by ID or alias ("is",
+// "ws", "os", "gpu"; legacy architecture names normalize server-side);
+// Arch is the pre-registry spelling ("inca", "baseline", "gpu") kept
+// for wire compatibility. Config, when present, replaces the built-in
+// configuration entirely and is built on the selected dataflow (or, with
+// no Dataflow, on the backend its Dataflow field selects, exactly like
+// the v2 facade).
 type SimulateRequest struct {
-	Arch  string `json:"arch"`
-	Model string `json:"model"`
-	Phase string `json:"phase"`
+	Arch     string `json:"arch,omitempty"`
+	Dataflow string `json:"dataflow,omitempty"`
+	Model    string `json:"model"`
+	Phase    string `json:"phase"`
 	// Batch overrides the configuration's batch size when > 0. Ignored
 	// for the fixed GPU roofline.
 	Batch  int              `json:"batch,omitempty"`
@@ -84,21 +91,41 @@ func (o OverrideSpec) override() sweep.Override {
 	}
 }
 
+// TuneSpec asks /v1/sweep to run the mapping auto-tuner instead of a
+// plain cross-product: every legal tile/partition point of the selected
+// dataflows is evaluated and the response carries one Pareto frontier
+// (energy × latency × area) per model × phase.
+type TuneSpec struct {
+	// Dataflows narrows the searched backends (IDs or aliases); empty
+	// means every registered backend.
+	Dataflows []string `json:"dataflows,omitempty"`
+	// MaxPerDataflow bounds the mapping points searched per backend;
+	// <= 0 means the full space.
+	MaxPerDataflow int `json:"max_per_dataflow,omitempty"`
+}
+
 // SweepRequest is the /v1/sweep body: a declarative plan fanned out on
 // the engine — archs × models × phases × overrides, exactly the
-// cross-product shape of the paper's Figs 11–16.
+// cross-product shape of the paper's Figs 11–16. Dataflows adds
+// registered backends by ID ("os", ...) as additional architecture axes;
+// Tune switches the request to the mapping auto-tuner.
 type SweepRequest struct {
-	Archs  []string `json:"archs"`
-	Models []string `json:"models"`
-	Phases []string `json:"phases"`
+	Archs     []string `json:"archs,omitempty"`
+	Dataflows []string `json:"dataflows,omitempty"`
+	Models    []string `json:"models"`
+	Phases    []string `json:"phases"`
 	// Batch overrides every non-fixed arch's base batch size when > 0.
 	Batch     int            `json:"batch,omitempty"`
 	Overrides []OverrideSpec `json:"overrides,omitempty"`
+	Tune      *TuneSpec      `json:"tune,omitempty"`
 }
 
 // CellResult is one sweep cell's summary row in a /v1/sweep response.
+// Dataflow is populated only for requests that select backends through
+// the dataflow fields, keeping legacy response bodies byte-identical.
 type CellResult struct {
 	Arch            string  `json:"arch"`
+	Dataflow        string  `json:"dataflow,omitempty"`
 	Override        string  `json:"override,omitempty"`
 	Network         string  `json:"network"`
 	Phase           string  `json:"phase"`
@@ -111,22 +138,28 @@ type CellResult struct {
 	Utilization     float64 `json:"utilization"`
 }
 
-// SweepResponse is the /v1/sweep payload.
+// SweepResponse is the /v1/sweep payload. Frontiers is present only for
+// tune requests: one Pareto frontier per model × phase, in request
+// order.
 type SweepResponse struct {
-	Cells  []CellResult     `json:"cells"`
-	Cached int              `json:"cached"`
-	Failed int              `json:"failed"`
-	Cache  sweep.CacheStats `json:"cache"`
+	Cells     []CellResult     `json:"cells"`
+	Cached    int              `json:"cached"`
+	Failed    int              `json:"failed"`
+	Cache     sweep.CacheStats `json:"cache"`
+	Frontiers []tune.Frontier  `json:"frontiers,omitempty"`
 }
 
-// ModelInfo is one /v1/models entry.
+// ModelInfo is one /v1/models entry. Dataflows lists the registered
+// backend IDs that can simulate the model, with the phases each
+// supports in Capabilities.
 type ModelInfo struct {
-	Name        string `json:"name"`
-	Layers      int    `json:"layers"`
-	Weights     int64  `json:"weights"`
-	Activations int64  `json:"activations"`
-	MACs        int64  `json:"macs"`
-	LightModel  bool   `json:"light_model"`
+	Name        string   `json:"name"`
+	Layers      int      `json:"layers"`
+	Weights     int64    `json:"weights"`
+	Activations int64    `json:"activations"`
+	MACs        int64    `json:"macs"`
+	LightModel  bool     `json:"light_model"`
+	Dataflows   []string `json:"dataflows"`
 }
 
 // errorBody is the uniform JSON error payload. TraceID, set when the
@@ -184,10 +217,14 @@ func parsePhase(name string) (sim.Phase, error) {
 	}
 }
 
-// buildArch resolves an architecture name (plus optional batch override
-// and custom configuration) into a sweep axis. The custom configuration
-// is validated here so a bad request fails with 400 before admission.
-func buildArch(name string, batch int, rawCfg *json.RawMessage) (sweep.Arch, error) {
+// buildArch resolves an architecture selection (legacy arch name or
+// explicit dataflow ID, plus optional batch override and custom
+// configuration) into a sweep axis. The custom configuration is
+// validated here so a bad request fails with 400 before admission.
+func buildArch(name, dataflowID string, batch int, rawCfg *json.RawMessage) (sweep.Arch, error) {
+	if dataflowID != "" {
+		return buildDataflowArch(dataflowID, batch, rawCfg)
+	}
 	if rawCfg != nil {
 		cfg, err := arch.ReadJSON(strings.NewReader(string(*rawCfg)))
 		if err != nil {
@@ -207,10 +244,47 @@ func buildArch(name string, batch int, rawCfg *json.RawMessage) (sweep.Arch, err
 	case "gpu":
 		return sweep.GPUArch(), nil
 	default:
-		return sweep.Arch{}, fmt.Errorf("unknown arch %q (want inca, baseline, or gpu)", name)
+		// Registry fallback: arch names that are dataflow IDs or aliases
+		// ("os", "is", legacy "WS-Baseline", ...) normalize server-side.
+		if id, ok := dataflow.Normalize(name); ok {
+			return buildDataflowArch(id, batch, nil)
+		}
+		return sweep.Arch{}, fmt.Errorf("unknown arch %q (want inca, baseline, gpu, or a registered dataflow ID)", name)
 	}
 	if batch > 0 {
 		cfg.BatchSize = batch
 	}
 	return sweep.ConfigArch(cfg), nil
+}
+
+// buildDataflowArch resolves an explicit dataflow selection: the named
+// backend's default configuration, or the caller's custom configuration
+// constructed on that backend.
+func buildDataflowArch(id string, batch int, rawCfg *json.RawMessage) (sweep.Arch, error) {
+	d, err := dataflow.Get(id)
+	if err != nil {
+		return sweep.Arch{}, err
+	}
+	caps := d.Capabilities()
+	cfg := d.DefaultConfig()
+	if rawCfg != nil {
+		cfg, err = arch.ReadJSON(strings.NewReader(string(*rawCfg)))
+		if err != nil {
+			return sweep.Arch{}, err
+		}
+	}
+	if batch > 0 && caps.Configurable {
+		cfg.BatchSize = batch
+	}
+	name := cfg.Name
+	if name == "" {
+		name = caps.Name
+	}
+	return sweep.Arch{
+		Name:     name,
+		Dataflow: d.ID(),
+		Base:     cfg,
+		Build:    d.New,
+		Fixed:    !caps.Configurable,
+	}, nil
 }

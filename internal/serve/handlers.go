@@ -10,11 +10,13 @@ import (
 	"net/http"
 	"strings"
 
+	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
+	"github.com/inca-arch/inca/internal/tune"
 )
 
 // decodeBody parses a JSON request body strictly, bounded at the
@@ -102,7 +104,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ax, err := buildArch(req.Arch, req.Batch, req.Config)
+	ax, err := buildArch(req.Arch, req.Dataflow, req.Batch, req.Config)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -138,15 +140,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeDecodeError(w, err)
 		return
 	}
-	var archs []sweep.Arch
-	for _, name := range req.Archs {
-		ax, err := buildArch(name, req.Batch, nil)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		archs = append(archs, ax)
-	}
 	var nets []*nn.Network
 	for _, name := range req.Models {
 		net, err := nn.ByName(name)
@@ -164,6 +157,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		phases = append(phases, phase)
+	}
+	if req.Tune != nil {
+		s.handleTuneSweep(w, r, req, nets, phases)
+		return
+	}
+	// newStyle marks requests that select backends through the dataflow
+	// fields; only those responses carry per-cell dataflow IDs (legacy
+	// bodies stay byte-identical).
+	newStyle := len(req.Dataflows) > 0
+	var archs []sweep.Arch
+	for _, name := range req.Archs {
+		ax, err := buildArch(name, "", req.Batch, nil)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		archs = append(archs, ax)
+	}
+	for _, id := range req.Dataflows {
+		ax, err := buildDataflowArch(id, req.Batch, nil)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		archs = append(archs, ax)
 	}
 	var overrides []sweep.Override
 	for _, spec := range req.Overrides {
@@ -188,6 +206,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				Network:  res.Cell.Network.Name,
 				Phase:    res.Cell.Phase.String(),
 				Cached:   res.Cached,
+			}
+			if newStyle {
+				cell.Dataflow = res.Cell.Dataflow()
 			}
 			if res.Cached {
 				resp.Cached++
@@ -215,6 +236,50 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTuneSweep runs the mapping auto-tuner for a /v1/sweep request
+// carrying a TuneSpec: one Pareto frontier per model × phase, evaluated
+// on the same engine, cache, and retry policy as a plain sweep.
+func (s *Server) handleTuneSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, nets []*nn.Network, phases []sim.Phase) {
+	if len(nets) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("tune request needs at least one model"))
+		return
+	}
+	dataflows := req.Tune.Dataflows
+	if len(dataflows) == 0 {
+		dataflows = req.Dataflows
+	}
+	for _, id := range dataflows {
+		if _, err := dataflow.Get(id); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	opt := tune.Options{
+		Dataflows:      dataflows,
+		Phases:         phases,
+		MaxPerDataflow: req.Tune.MaxPerDataflow,
+		Workers:        s.requestWorkers(),
+		Cache:          s.cache,
+		Retry:          s.opt.SweepRetry,
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		resp := SweepResponse{Cells: make([]CellResult, 0)}
+		for _, net := range nets {
+			fronts, err := tune.Search(ctx, net, opt)
+			if err != nil {
+				s.writeError(w, statusForRunErr(err), err)
+				return
+			}
+			for _, f := range fronts {
+				resp.Failed += f.Failed
+			}
+			resp.Frontiers = append(resp.Frontiers, fronts...)
+		}
+		resp.Cache = s.cache.Stats()
+		s.writeJSON(w, http.StatusOK, resp)
+	})
+}
+
 // writeSweepCSV renders the sweep summary as CSV, one row per cell.
 func (s *Server) writeSweepCSV(w http.ResponseWriter, resp SweepResponse) {
 	w.Header().Set("Content-Type", "text/csv")
@@ -238,9 +303,11 @@ func (s *Server) writeSweepCSV(w http.ResponseWriter, resp SweepResponse) {
 	}
 }
 
-// handleModels lists the zoo with shape-level statistics.
+// handleModels lists the zoo with shape-level statistics and the
+// registered dataflow backends able to simulate each model.
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	all := append(nn.PaperModels(), nn.VGG16CIFAR(), nn.ResNet18CIFAR(), nn.LeNet5(), nn.AlexNet())
+	ids := dataflow.IDs()
 	infos := make([]ModelInfo, 0, len(all))
 	for _, net := range all {
 		infos = append(infos, ModelInfo{
@@ -250,6 +317,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 			Activations: net.TotalActivations(),
 			MACs:        net.TotalMACs(),
 			LightModel:  net.IsLightModel(),
+			Dataflows:   ids,
 		})
 	}
 	s.writeJSON(w, http.StatusOK, infos)

@@ -313,8 +313,8 @@ func TestExperimentEndpoint(t *testing.T) {
 	if err := json.Unmarshal(readAll(t, respIdx), &idx); err != nil {
 		t.Fatal(err)
 	}
-	if len(idx) != 19 {
-		t.Fatalf("experiment index = %d entries, want 19", len(idx))
+	if len(idx) != 20 {
+		t.Fatalf("experiment index = %d entries, want 20", len(idx))
 	}
 }
 

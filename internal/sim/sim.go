@@ -28,6 +28,26 @@ func (p Phase) String() string {
 	return "training"
 }
 
+// MarshalText renders the phase by its wire name, so structs embedding
+// a Phase serialize it as "inference"/"training" rather than an opaque
+// enum ordinal.
+func (p Phase) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses the wire name back into a Phase.
+func (p *Phase) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "inference":
+		*p = Inference
+	case "training":
+		*p = Training
+	default:
+		return fmt.Errorf("unknown phase %q", b)
+	}
+	return nil
+}
+
 // LayerResult carries one layer's simulated execution.
 type LayerResult struct {
 	Layer       nn.Layer

@@ -22,6 +22,7 @@ import (
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/train"
+	"github.com/inca-arch/inca/internal/tune"
 )
 
 // engineCache memoizes simulation cells across every experiment of the
@@ -89,6 +90,7 @@ func All() []Experiment {
 		{ID: "ext-endurance", Name: "Extension: endurance analysis (§VI)", Run: ExtEndurance},
 		{ID: "ext-devices", Name: "Extension: IS on other device candidates (§VI)", Run: ExtDevices},
 		{ID: "ext-batch", Name: "Extension: batch-size sweep", Run: ExtBatchSweep},
+		{ID: "ext-pareto", Name: "Extension: dataflow mapping Pareto frontier", Run: ExtPareto},
 	}
 }
 
@@ -512,6 +514,29 @@ func ExtBatchSweep(ctx context.Context) (string, error) {
 		t.AddRow(b, r.Total.Energy.Total()/float64(b), r.Total.Latency/float64(b))
 	}
 	return t.String(), nil
+}
+
+// ExtPareto runs the mapping auto-tuner over every registered dataflow
+// backend on ResNet18 and renders the resulting inference Pareto
+// frontier — the "which design point wins where" view the fixed paper
+// configurations cannot show.
+func ExtPareto(ctx context.Context) (string, error) {
+	net := nn.ResNet18()
+	fronts, err := tune.Search(ctx, net, tune.Options{Cache: engineCache})
+	if err != nil {
+		return "", fmt.Errorf("suite: %w", err)
+	}
+	out := ""
+	for _, f := range fronts {
+		t := report.New(fmt.Sprintf("Extension: mapping Pareto frontier, %s %s (%d candidates, %d failed)",
+			f.Network, f.Phase, f.Evaluated, f.Failed),
+			"design", "dataflow", "energy (J/batch)", "latency (s)", "area (mm²)")
+		for _, c := range f.Pareto {
+			t.AddRow(c.Label, c.Dataflow, c.EnergyJ, c.LatencyS, c.AreaMM2)
+		}
+		out += t.String()
+	}
+	return out, nil
 }
 
 // Table6 runs the noise-robustness study.

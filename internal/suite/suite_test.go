@@ -18,8 +18,8 @@ func TestAllIDsUnique(t *testing.T) {
 			t.Fatalf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 19 {
-		t.Fatalf("suite has %d experiments, want 19", len(seen))
+	if len(seen) != 20 {
+		t.Fatalf("suite has %d experiments, want 20", len(seen))
 	}
 }
 

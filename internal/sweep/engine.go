@@ -160,12 +160,17 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 func evaluate(ctx context.Context, cache *Cache, cell Cell, opt Options, launch time.Time) Result {
 	key := cell.Key()
 	site := "sweep/cell/" + key.String()
-	ctx, span := obs.StartSpan(ctx, SpanCell,
+	attrs := []obs.Attr{
 		obs.String("key", key.String()),
 		obs.String("arch", key.Arch),
 		obs.String("network", key.Network),
 		obs.String("phase", cell.Phase.String()),
-		obs.String("override", cell.Override))
+		obs.String("override", cell.Override),
+	}
+	if key.Dataflow != "" {
+		attrs = append(attrs, obs.String("dataflow", key.Dataflow))
+	}
+	ctx, span := obs.StartSpan(ctx, SpanCell, attrs...)
 	if span != nil && !launch.IsZero() {
 		span.SetAttr(obs.Float64("queue_wait_s", span.StartTime().Sub(launch).Seconds()))
 	}

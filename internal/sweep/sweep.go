@@ -12,11 +12,17 @@ import (
 	"fmt"
 
 	"github.com/inca-arch/inca/internal/arch"
-	"github.com/inca-arch/inca/internal/baseline"
-	"github.com/inca-arch/inca/internal/core"
-	"github.com/inca-arch/inca/internal/gpu"
+	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/sim"
+
+	// The paper's backends register themselves with the dataflow
+	// registry; the sweep package links them in so every registry-built
+	// plan works out of the box.
+	_ "github.com/inca-arch/inca/internal/baseline"
+	_ "github.com/inca-arch/inca/internal/core"
+	_ "github.com/inca-arch/inca/internal/gpu"
+	_ "github.com/inca-arch/inca/internal/outstat"
 )
 
 // Plan expansion errors.
@@ -32,6 +38,12 @@ var (
 // simulator.
 type Arch struct {
 	Name string
+	// Dataflow is the registry ID of the backend evaluating this axis
+	// ("is", "ws", "os", "gpu"). It is part of every cell's cache key,
+	// so identical configs under different dataflows never collide in
+	// the memo cache. Empty for hand-built axes that predate the
+	// registry; such axes key on name+config alone, as before.
+	Dataflow string
 	// Base is the configuration overrides are applied to.
 	Base arch.Config
 	// Build constructs a simulator for one resolved configuration. It is
@@ -47,43 +59,71 @@ type Arch struct {
 // INCAArch returns the paper's INCA accelerator as a sweep axis.
 func INCAArch() Arch {
 	cfg := arch.INCA()
-	return Arch{Name: cfg.Name, Base: cfg, Build: buildConfigured}
+	return Arch{Name: cfg.Name, Dataflow: dataflow.FromConfig(cfg), Base: cfg, Build: buildConfigured}
 }
 
 // BaselineArch returns the 2D WS baseline as a sweep axis.
 func BaselineArch() Arch {
 	cfg := arch.Baseline()
-	return Arch{Name: cfg.Name, Base: cfg, Build: buildConfigured}
+	return Arch{Name: cfg.Name, Dataflow: dataflow.FromConfig(cfg), Base: cfg, Build: buildConfigured}
+}
+
+// OutStatArch returns the output-stationary comparison point as a sweep
+// axis (inference only — training cells fail with
+// dataflow.ErrUnsupportedPhase).
+func OutStatArch() Arch {
+	cfg := arch.OutStationary()
+	return Arch{Name: cfg.Name, Dataflow: dataflow.FromConfig(cfg), Base: cfg, Build: buildConfigured}
 }
 
 // GPUArch returns the Titan RTX roofline model as a sweep axis.
 func GPUArch() Arch {
-	spec := gpu.TitanRTX()
-	return Arch{
-		Name:  spec.Name,
-		Fixed: true,
-		Build: func(arch.Config) (sim.Simulator, error) {
-			return sim.Wrap(gpu.New(spec)), nil
-		},
+	a, err := DataflowArch("gpu")
+	if err != nil {
+		// The gpu package is linked in above; its registration cannot be
+		// missing.
+		panic(err)
 	}
+	return a
 }
 
 // ConfigArch wraps an explicit configuration (e.g. one loaded from JSON)
-// as a sweep axis, selecting the IS or WS model by its Dataflow field.
+// as a sweep axis, selecting the backend by its Dataflow field.
 func ConfigArch(cfg arch.Config) Arch {
-	return Arch{Name: cfg.Name, Base: cfg, Build: buildConfigured}
+	return Arch{Name: cfg.Name, Dataflow: dataflow.FromConfig(cfg), Base: cfg, Build: buildConfigured}
 }
 
-// buildConfigured selects the accelerator model by dataflow, validating
-// the configuration first (the legacy constructors panic on bad input).
+// DataflowArch resolves a registered dataflow backend — by ID or any
+// alias Normalize accepts — into a sweep axis running its default
+// configuration.
+func DataflowArch(id string) (Arch, error) {
+	d, err := dataflow.Get(id)
+	if err != nil {
+		return Arch{}, err
+	}
+	caps := d.Capabilities()
+	cfg := d.DefaultConfig()
+	name := cfg.Name
+	if name == "" {
+		name = caps.Name
+	}
+	return Arch{
+		Name:     name,
+		Dataflow: d.ID(),
+		Base:     cfg,
+		Build:    d.New,
+		Fixed:    !caps.Configurable,
+	}, nil
+}
+
+// buildConfigured routes a configuration to its registered backend by
+// Dataflow field. Validation happens inside the backend's constructor.
 func buildConfigured(cfg arch.Config) (sim.Simulator, error) {
-	if err := cfg.Validate(); err != nil {
+	d, err := dataflow.Get(dataflow.FromConfig(cfg))
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Dataflow == arch.InputStationary {
-		return sim.Wrap(core.New(cfg)), nil
-	}
-	return sim.Wrap(baseline.New(cfg)), nil
+	return d.New(cfg)
 }
 
 // Override is one named configuration transform of the sweep's config
@@ -103,17 +143,26 @@ type Plan struct {
 }
 
 // Key identifies a memoizable cell. Two cells with equal keys produce
-// byte-identical reports, so the cache evaluates only one of them.
+// byte-identical reports, so the cache evaluates only one of them. The
+// Dataflow component keeps identical configs under different backends
+// apart — without it, two registry backends sharing an arch name and
+// fingerprint would alias in the memo cache.
 type Key struct {
-	Arch    string
-	Config  string // arch.Config.Fingerprint(), or "fixed" for Fixed archs
-	Network string
-	Phase   sim.Phase
+	Arch     string
+	Dataflow string // backend registry ID, "" for pre-registry axes
+	Config   string // arch.Config.Fingerprint(), or "fixed" for Fixed archs
+	Network  string
+	Phase    sim.Phase
 }
 
-// String renders the key for logs and test failures.
+// String renders the key for logs, fault-injection sites, and test
+// failures. Pre-registry keys (empty Dataflow) render in the legacy
+// four-segment form.
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/%s/%s", k.Arch, k.Config, k.Network, k.Phase)
+	if k.Dataflow == "" {
+		return fmt.Sprintf("%s/%s/%s/%s", k.Arch, k.Config, k.Network, k.Phase)
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/%s", k.Arch, k.Dataflow, k.Config, k.Network, k.Phase)
 }
 
 // Cell is one fully-resolved evaluation of the plan's cross product.
@@ -128,13 +177,16 @@ type Cell struct {
 	Phase    sim.Phase
 }
 
+// Dataflow returns the registry ID of the backend evaluating this cell.
+func (c Cell) Dataflow() string { return c.Arch.Dataflow }
+
 // Key returns the cell's cache key.
 func (c Cell) Key() Key {
 	cfgID := "fixed"
 	if !c.Arch.Fixed {
 		cfgID = c.Config.Fingerprint()
 	}
-	return Key{Arch: c.Arch.Name, Config: cfgID, Network: c.Network.Name, Phase: c.Phase}
+	return Key{Arch: c.Arch.Name, Dataflow: c.Arch.Dataflow, Config: cfgID, Network: c.Network.Name, Phase: c.Phase}
 }
 
 // Cells expands the plan into its deterministic cell sequence,

@@ -1,0 +1,144 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/dataflow"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/sweep"
+)
+
+func TestSearchProducesFrontier(t *testing.T) {
+	fronts, err := Search(context.Background(), nn.LeNet5(), Options{})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(fronts) != 1 {
+		t.Fatalf("got %d frontiers, want 1", len(fronts))
+	}
+	f := fronts[0]
+	if f.Network != "LeNet5" || f.Phase != sim.Inference {
+		t.Fatalf("frontier identity %s/%s", f.Network, f.Phase)
+	}
+	if f.Failed != 0 {
+		t.Errorf("%d candidates failed", f.Failed)
+	}
+	// All four backends contribute at least their base point.
+	if f.Evaluated < 4 {
+		t.Errorf("evaluated %d candidates, want >= 4", f.Evaluated)
+	}
+	if len(f.Pareto) == 0 {
+		t.Fatalf("empty Pareto frontier")
+	}
+	// Frontier members are mutually non-dominated and sorted by energy.
+	for i, a := range f.Pareto {
+		if i > 0 && f.Pareto[i-1].EnergyJ > a.EnergyJ {
+			t.Errorf("frontier not sorted by energy at %d", i)
+		}
+		for j, b := range f.Pareto {
+			if i != j && a.dominates(b) {
+				t.Errorf("frontier member %s dominates member %s", a.Label, b.Label)
+			}
+		}
+		if a.EnergyJ <= 0 || a.LatencyS <= 0 || a.AreaMM2 <= 0 {
+			t.Errorf("%s: non-positive objective (%v, %v, %v)", a.Label, a.EnergyJ, a.LatencyS, a.AreaMM2)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	opt := Options{Dataflows: []string{"is", "os"}}
+	a, err := Search(context.Background(), nn.LeNet5(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(context.Background(), nn.LeNet5(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reports alias distinct allocations; compare the numeric frontier.
+	strip := func(fs []Frontier) []Frontier {
+		out := make([]Frontier, len(fs))
+		for i, f := range fs {
+			out[i] = f
+			out[i].Pareto = append([]Candidate(nil), f.Pareto...)
+			for j := range out[i].Pareto {
+				out[i].Pareto[j].Report = nil
+				out[i].Pareto[j].Cached = false
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(a), strip(b)) {
+		t.Errorf("repeated search disagrees:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestSearchSkipsUnsupportedPhase(t *testing.T) {
+	fronts, err := Search(context.Background(), nn.LeNet5(), Options{
+		Dataflows: []string{"os"},
+		Phases:    []sim.Phase{sim.Inference, sim.Training},
+	})
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(fronts) != 2 {
+		t.Fatalf("got %d frontiers, want 2", len(fronts))
+	}
+	if fronts[0].Evaluated == 0 || len(fronts[0].Pareto) == 0 {
+		t.Errorf("inference frontier empty")
+	}
+	// Training on an inference-only backend is a structural skip, not a
+	// failure.
+	if fronts[1].Failed != 0 || fronts[1].Evaluated != 0 || len(fronts[1].Pareto) != 0 {
+		t.Errorf("training frontier = %+v, want empty with no failures", fronts[1])
+	}
+}
+
+func TestSearchMaxPerDataflow(t *testing.T) {
+	fronts, err := Search(context.Background(), nn.LeNet5(), Options{
+		Dataflows:      []string{"ws"},
+		MaxPerDataflow: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fronts[0].Evaluated != 1 {
+		t.Errorf("evaluated %d, want 1 (base point only)", fronts[0].Evaluated)
+	}
+	if !fronts[0].Pareto[0].Mapping.IsZero() {
+		t.Errorf("sole candidate is not the base point")
+	}
+}
+
+func TestSearchSharedCache(t *testing.T) {
+	cache := sweep.NewCache()
+	opt := Options{Dataflows: []string{"is"}, Cache: cache}
+	if _, err := Search(context.Background(), nn.LeNet5(), opt); err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Misses()
+	if misses == 0 {
+		t.Fatalf("first search recorded no misses")
+	}
+	if _, err := Search(context.Background(), nn.LeNet5(), opt); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses() != misses {
+		t.Errorf("second search re-evaluated cells: misses %d -> %d", misses, cache.Misses())
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search(context.Background(), nil, Options{}); !errors.Is(err, sim.ErrNilNetwork) {
+		t.Errorf("nil network: got %v", err)
+	}
+	_, err := Search(context.Background(), nn.LeNet5(), Options{Dataflows: []string{"bogus"}})
+	if !errors.Is(err, dataflow.ErrUnknownDataflow) {
+		t.Errorf("bogus dataflow: got %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package inca
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestNewMachineMatchesDeprecatedPath pins the redesign's byte-identity
+// promise: a machine built through the registry produces exactly the
+// report the deprecated constructors did.
+func TestNewMachineMatchesDeprecatedPath(t *testing.T) {
+	ctx := context.Background()
+	net, err := Model("LeNet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dataflow string
+		cfg      Config
+	}{
+		{"is", DefaultINCA()},
+		{"ws", DefaultBaseline()},
+	}
+	for _, c := range cases {
+		newStyle, err := NewMachine(c.dataflow, c.cfg)
+		if err != nil {
+			t.Fatalf("NewMachine(%s): %v", c.dataflow, err)
+		}
+		oldStyle, err := New(c.cfg)
+		if err != nil {
+			t.Fatalf("New(%s): %v", c.dataflow, err)
+		}
+		a, err := newStyle.Simulate(ctx, net, Inference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := oldStyle.Simulate(ctx, net, Inference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ab, bb bytes.Buffer
+		if err := a.WriteCSV(&ab); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteCSV(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+			t.Errorf("%s: registry path diverges from deprecated path", c.dataflow)
+		}
+	}
+}
+
+func TestNewMachineDefaultsAndOptions(t *testing.T) {
+	ctx := context.Background()
+	net, err := Model("LeNet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero Config uses the dataflow's default design point.
+	m, err := NewMachine("os", Config{}, WithBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Simulate(ctx, net, Inference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batch != 8 {
+		t.Errorf("WithBatch(8) ignored: batch %d", rep.Batch)
+	}
+	// OS is inference-only; training surfaces the typed sentinel.
+	if _, err := m.Simulate(ctx, net, Training); !errors.Is(err, ErrUnsupportedPhase) {
+		t.Errorf("OS training: got %v, want ErrUnsupportedPhase", err)
+	}
+	// Legacy architecture names normalize to registry IDs.
+	if _, err := NewMachine("INCA", Config{}); err != nil {
+		t.Errorf("legacy name INCA rejected: %v", err)
+	}
+	if _, err := NewMachine("nonesuch", Config{}); !errors.Is(err, ErrUnknownDataflow) {
+		t.Errorf("unknown dataflow: got %v, want ErrUnknownDataflow", err)
+	}
+	// WithMapping lowers a tuner point onto the base configuration.
+	tuned, err := NewMachine("is", Config{}, WithMapping(Mapping{Rows: 32, Cols: 32, Planes: 64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trep, err := tuned.Simulate(ctx, net, Inference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trep.Arch == rep.Arch {
+		t.Errorf("mapped machine reports the same arch name %q", trep.Arch)
+	}
+}
+
+func TestDataflowsListing(t *testing.T) {
+	infos := Dataflows()
+	if len(infos) < 4 {
+		t.Fatalf("got %d dataflows, want at least is/ws/os/gpu", len(infos))
+	}
+	seen := map[string]bool{}
+	for _, d := range infos {
+		seen[d.ID] = true
+		if d.Name == "" || len(d.Phases) == 0 {
+			t.Errorf("%s: incomplete capabilities %+v", d.ID, d)
+		}
+	}
+	for _, want := range []string{"is", "ws", "os", "gpu"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q (have %v)", want, infos)
+		}
+	}
+}
+
+func TestTuneSearchFacade(t *testing.T) {
+	net, err := Model("ResNet18") // a paper model, end-to-end through the facade
+	if err != nil {
+		t.Fatal(err)
+	}
+	fronts, err := TuneSearch(context.Background(), net, TuneOptions{
+		Dataflows: []string{"is", "os"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fronts) != 1 || len(fronts[0].Pareto) == 0 {
+		t.Fatalf("no Pareto frontier from facade: %+v", fronts)
+	}
+	for _, c := range fronts[0].Pareto {
+		if c.EnergyJ <= 0 || c.LatencyS <= 0 || c.AreaMM2 <= 0 {
+			t.Errorf("%s: non-positive objective", c.Label)
+		}
+	}
+}
