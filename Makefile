@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-sweep serve-smoke chaos trace profile
+.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-gate bench-sweep serve-smoke chaos trace profile
 
-check: vet build race api-surface
+check: vet build race api-surface bench-gate
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,17 @@ bench:
 # Dataflow/auto-tuner era baseline for this PR, recorded in the repo root.
 bench-pr6:
 	$(GO) run ./cmd/inca-bench -o BENCH_PR6.json
+
+# Result-store era baseline: the four tensor kernels plus the
+# store-warm-start probe (cold recompute vs warm disk replay).
+bench-pr7:
+	$(GO) run ./cmd/inca-bench -o BENCH_PR7.json -pr 7
+
+# Deterministic perf-regression gate: compares the two newest committed
+# BENCH_PR*.json baselines and fails on a >10% slowdown in any kernel
+# present in both. Override the tolerance with BENCH_GATE_TOLERANCE.
+bench-gate:
+	GO=$(GO) sh scripts/bench_gate.sh
 
 # Sweep-engine scaling benchmark (serial vs 2/4/8 workers + warm cache).
 bench-sweep:

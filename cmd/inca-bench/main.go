@@ -1,17 +1,21 @@
 // Command inca-bench measures the tensor kernel hot path serial versus
-// parallel and records the result as a JSON baseline (BENCH_PR2.json in
-// the repo root). The kernels are shaped like the ResNet-50 mid-network
-// layers that dominate the training experiments' wall clock.
+// parallel and records the result as a JSON baseline (BENCH_PR{n}.json
+// in the repo root; scripts/bench_gate.sh compares consecutive
+// baselines). The kernels are shaped like the ResNet-50 mid-network
+// layers that dominate the training experiments' wall clock, plus a
+// store warm-start probe timing disk-served replay against cold
+// recompute.
 //
 // Usage:
 //
 //	inca-bench                     # print the report to stdout
-//	inca-bench -o BENCH_PR2.json   # write the baseline file
+//	inca-bench -o BENCH_PR7.json -pr 7   # write the baseline file
 //	inca-bench -reps 5 -workers 8  # more repetitions, explicit budget
 //	inca-bench -cpuprofile cpu.pprof   # capture a CPU profile of the run
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +27,10 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca/internal/cli"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/store"
+	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 )
 
@@ -51,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("inca-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "write the JSON baseline to this file (default: stdout only)")
+	pr := fs.Int("pr", 7, "PR number recorded in the baseline")
 	reps := fs.Int("reps", 3, "repetitions per kernel; the fastest is kept")
 	workers := fs.Int("workers", 0, "parallel worker budget (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
@@ -82,6 +91,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	logger.Debug("benchmarking", "reps", *reps, "workers", *workers)
 	b := runBenchmarks(*reps, *workers)
+	b.PR = *pr
+	if res, err := benchStore(*reps); err != nil {
+		fmt.Fprintln(stderr, "inca-bench: store benchmark:", err)
+		return 1
+	} else {
+		b.Kernels = append(b.Kernels, res)
+	}
 	enc, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		fmt.Fprintln(stderr, "inca-bench:", err)
@@ -123,7 +139,7 @@ func runBenchmarks(reps, workers int) Baseline {
 		{"ConvBackwardWeights-128x28x28", func() { tensor.ConvBackwardWeights(x, delta, spec, 3, 3) }},
 	}
 
-	b := Baseline{PR: 2, GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Reps: reps}
+	b := Baseline{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Reps: reps}
 	for _, k := range kernels {
 		serial := timeKernel(1, reps, k.f)
 		parallel := timeKernel(workers, reps, k.f)
@@ -135,6 +151,68 @@ func runBenchmarks(reps, workers int) Baseline {
 		})
 	}
 	return b
+}
+
+// benchStore times warm-start replay against cold recompute: an
+// 8-cell sweep simulated once into a fresh persistent store
+// ("serial" = cold, simulate + persist), then replayed through fresh
+// in-memory caches that can only be satisfied from disk
+// ("parallel" = warm, fastest of reps). The speedup is the latency
+// dividend a restarted process gets per already-computed cell.
+func benchStore(reps int) (KernelResult, error) {
+	dir, err := os.MkdirTemp("", "inca-bench-store-*")
+	if err != nil {
+		return KernelResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return KernelResult{}, err
+	}
+	defer st.Close()
+
+	plan := sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+		Networks: []*nn.Network{nn.LeNet5(), nn.VGG16CIFAR()},
+		Phases:   []sim.Phase{sim.Inference, sim.Training},
+	}
+	ctx := context.Background()
+	runOnce := func() (time.Duration, error) {
+		cache := sweep.NewCache()
+		cache.SetTier(st)
+		start := time.Now()
+		results, err := sweep.Run(ctx, plan, sweep.Options{Cache: cache})
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	cold, err := runOnce()
+	if err != nil {
+		return KernelResult{}, err
+	}
+	warm := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		d, err := runOnce()
+		if err != nil {
+			return KernelResult{}, err
+		}
+		if d < warm {
+			warm = d
+		}
+	}
+	return KernelResult{
+		Name:       "StoreWarmStart-8cells",
+		SerialNs:   cold.Nanoseconds(),
+		ParallelNs: warm.Nanoseconds(),
+		Speedup:    float64(cold) / float64(warm),
+	}, nil
 }
 
 // timeKernel runs f under the given worker budget and returns the

@@ -11,7 +11,7 @@ import (
 
 func TestRunBenchmarksShape(t *testing.T) {
 	b := runBenchmarks(1, 2)
-	if b.PR != 2 || b.GOMAXPROCS != runtime.GOMAXPROCS(0) || b.Workers != 2 {
+	if b.GOMAXPROCS != runtime.GOMAXPROCS(0) || b.Workers != 2 {
 		t.Fatalf("baseline header = %+v", b)
 	}
 	if len(b.Kernels) != 4 {
@@ -21,6 +21,16 @@ func TestRunBenchmarksShape(t *testing.T) {
 		if k.Name == "" || k.SerialNs <= 0 || k.ParallelNs <= 0 || k.Speedup <= 0 {
 			t.Fatalf("degenerate kernel result %+v", k)
 		}
+	}
+}
+
+func TestBenchStoreWarmStart(t *testing.T) {
+	res, err := benchStore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "StoreWarmStart-8cells" || res.SerialNs <= 0 || res.ParallelNs <= 0 || res.Speedup <= 0 {
+		t.Fatalf("degenerate store result %+v", res)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"github.com/inca-arch/inca/internal/cli"
+	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
 )
@@ -44,6 +45,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	jobs := fs.Int("jobs", 0, "experiments run concurrently (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	storeDir := fs.String("store-dir", "", "persist simulation cells in this directory so repeated runs warm-start (empty = memory-only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "result-store size cap in bytes (0 = 256 MiB)")
+	storeTTL := fs.Duration("store-ttl", 0, "result-store record time-to-live (0 = keep forever)")
 	logLevel := cli.LogLevelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,6 +56,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "inca-experiments:", err)
 		return 2
+	}
+
+	// -store-dir attaches a persistent tier to the suite's shared cache:
+	// cells computed by an earlier invocation load from disk.
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes, TTL: *storeTTL})
+		if err != nil {
+			fmt.Fprintln(stderr, "inca-experiments:", err)
+			return 1
+		}
+		defer st.Close()
+		suite.AttachResultStore(st)
+		logger.Info("result store open", "dir", st.Dir(), "entries", st.Len())
 	}
 
 	if *list {

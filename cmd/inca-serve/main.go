@@ -9,6 +9,7 @@
 //	inca-serve -addr :8321
 //	inca-serve -inflight 8 -queue 128 -request-timeout 30s
 //	inca-serve -kernels 4          # cap the process-wide tensor budget
+//	inca-serve -store-dir /var/lib/inca   # persist results; restarts warm-start from disk
 //	inca-serve -trace-jsonl t.jsonl -pprof   # tracing + profiling endpoints
 //	inca-serve -chaos-seed 42      # opt-in fault injection (never in production)
 //
@@ -20,6 +21,9 @@
 //	GET  /v1/experiments         experiment index
 //	GET  /v1/experiments/{id}    one paper table/figure
 //	GET  /v1/trace/{id}          one trace from the in-memory ring
+//	GET  /v1/store/stats         persistent result-store counters (with -store-dir)
+//	GET  /v1/store/export        result corpus as JSON lines
+//	POST /v1/store/import        merge an exported corpus
 //	GET  /debug/pprof/           runtime profiles (only with -pprof)
 //	GET  /healthz                liveness (also /healthz/live)
 //	GET  /healthz/ready          readiness — 503 once draining begins
@@ -61,6 +65,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	readinessGrace := fs.Duration("readiness-grace", 0, "keep serving after /healthz/ready flips 503 so load balancers drift away first")
 	maxBody := fs.Int64("max-body", 1<<20, "request-body byte cap; overflow answers 413")
 	kernels := fs.Int("kernels", 0, "process-wide tensor-kernel worker budget (0 = GOMAXPROCS tracking)")
+	storeDir := fs.String("store-dir", "", "persist simulation results in this directory for warm restarts (empty = memory-only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "result-store size cap in bytes; overflow compacts oldest-first (0 = 256 MiB)")
+	storeTTL := fs.Duration("store-ttl", 0, "result-store record time-to-live; expired records evict at compaction (0 = keep forever)")
 	quiet := fs.Bool("quiet", false, "suppress all logs (same as -log-level off)")
 	logLevel := cli.LogLevelFlag(fs)
 	traceJSONL := fs.String("trace-jsonl", "", "enable tracing and append every completed span to this JSONL file")
@@ -109,6 +116,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logger.Info("tracing enabled", "jsonl", *traceJSONL, "ring", *traceRing)
 	}
 
+	// With -store-dir the cache gets a persistent second tier: the index
+	// rebuild at open is the warm start — every previously simulated
+	// cell serves from disk instead of recomputing.
+	var st *inca.ResultStore
+	if *storeDir != "" {
+		st, err = inca.OpenResultStore(*storeDir, inca.ResultStoreOptions{
+			MaxBytes: *storeMaxBytes,
+			TTL:      *storeTTL,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "inca-serve:", err)
+			return 1
+		}
+		defer st.Close()
+		stats := st.Stats()
+		logger.Info("result store open",
+			"dir", stats.Dir, "entries", stats.Entries,
+			"segments", stats.Segments, "bytes", stats.Bytes,
+			"torn_records", stats.TornRecords)
+	}
+
 	// Chaos mode is strictly opt-in: without -chaos-seed the injector is
 	// nil and the fault paths cost nothing.
 	var inj *inca.FaultInjector
@@ -128,6 +156,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:   *drain,
 		ReadinessGrace: *readinessGrace,
 		MaxBodyBytes:   *maxBody,
+		Store:          st,
 		Logger:         logger,
 		Inject:         inj,
 		Tracer:         tracer,

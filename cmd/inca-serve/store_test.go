@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootServer starts run() with the given extra flags and returns the
+// resolved base URL plus a shutdown function that cancels the context
+// and waits for a clean drain.
+func bootServer(t *testing.T, extra ...string) (base string, shutdown func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extra...)
+	go func() { exit <- run(ctx, args, &stdout, &stderr) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := listeningRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("no boot handshake; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return base, func() {
+		cancel()
+		select {
+		case code := <-exit:
+			if code != 0 {
+				t.Fatalf("exit code = %d; stderr=%q", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not drain after cancellation")
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %.300s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func postSweep(t *testing.T, base string) []byte {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sweep", "application/json",
+		strings.NewReader(`{"archs":["INCA","WS-Baseline"],"models":["LeNet5","VGG16-CIFAR"],"phases":["inference","training"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d: %.300s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// cellPayload is the simulation-derived portion of a sweep cell — the
+// bytes that must replay identically from disk. Cache metadata (the
+// per-cell cached flag, the aggregate counters) legitimately differs
+// between a cold and a warm run and is excluded.
+type cellPayload struct {
+	Arch            string  `json:"arch"`
+	Override        string  `json:"override"`
+	Network         string  `json:"network"`
+	Phase           string  `json:"phase"`
+	Error           string  `json:"error"`
+	EnergyJ         float64 `json:"energy_j"`
+	LatencyS        float64 `json:"latency_s"`
+	EnergyPerImageJ float64 `json:"energy_per_image_j"`
+	ThroughputIPS   float64 `json:"throughput_ips"`
+	Utilization     float64 `json:"utilization"`
+}
+
+func cellPayloads(t *testing.T, sweepBody []byte) []byte {
+	t.Helper()
+	var resp struct {
+		Cells []cellPayload `json:"cells"`
+	}
+	if err := json.Unmarshal(sweepBody, &resp); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(resp.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type storeStatsBody struct {
+	Store struct {
+		Entries     int   `json:"entries"`
+		TornRecords int64 `json:"torn_records"`
+	} `json:"store"`
+	DiskHits int64 `json:"disk_hits"`
+}
+
+func storeStats(t *testing.T, base string) storeStatsBody {
+	t.Helper()
+	var out storeStatsBody
+	if err := json.Unmarshal(getBody(t, base+"/v1/store/stats"), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestKillAndRestartWarmStart is the acceptance e2e: a sweep through
+// inca-serve with -store-dir, a full process stop, a fresh boot on the
+// same directory, and the re-issued sweep — responses byte-identical,
+// disk_hits equal to the cell count, zero re-simulations. Then a
+// segment truncated mid-record still opens and serves the surviving
+// prefix.
+func TestKillAndRestartWarmStart(t *testing.T) {
+	dir := t.TempDir()
+
+	base, shutdown := bootServer(t, "-store-dir", dir)
+	first := postSweep(t, base)
+	stats := storeStats(t, base)
+	if stats.Store.Entries != 8 || stats.DiskHits != 0 {
+		t.Fatalf("cold boot stats = %+v, want 8 entries, 0 disk hits", stats)
+	}
+	shutdown() // the "kill": full graceful stop, store closed
+
+	// Fresh process, same directory: the sweep must replay from disk.
+	base2, shutdown2 := bootServer(t, "-store-dir", dir)
+	second := postSweep(t, base2)
+	if got, want := cellPayloads(t, second), cellPayloads(t, first); !bytes.Equal(got, want) {
+		t.Fatalf("restarted sweep not byte-identical:\n%.300s\n%.300s", want, got)
+	}
+	stats = storeStats(t, base2)
+	if stats.DiskHits != 8 {
+		t.Fatalf("disk_hits = %d, want 8 (every cell from disk)", stats.DiskHits)
+	}
+	var metrics struct {
+		Cache struct {
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(getBody(t, base2+"/metrics"), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Cache.Misses != 0 {
+		t.Fatalf("warm restart re-simulated %d cells, want 0", metrics.Cache.Misses)
+	}
+	shutdown2()
+
+	// Crash-damage the tail: truncate the last segment mid-record. The
+	// next boot must still come up and serve the surviving prefix.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files: %v %v", segs, err)
+	}
+	tail := segs[len(segs)-1]
+	fi, err := os.Stat(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tail, fi.Size()-32); err != nil {
+		t.Fatal(err)
+	}
+	base3, shutdown3 := bootServer(t, "-store-dir", dir)
+	defer shutdown3()
+	stats = storeStats(t, base3)
+	if stats.Store.Entries != 7 || stats.Store.TornRecords != 1 {
+		t.Fatalf("after torn tail: %+v, want 7 surviving entries and 1 torn record", stats)
+	}
+	// The damaged cell re-simulates, the other seven come from disk.
+	postSweep(t, base3)
+	stats = storeStats(t, base3)
+	if stats.DiskHits != 7 || stats.Store.Entries != 8 {
+		t.Fatalf("post-repair sweep stats = %+v, want 7 disk hits and a re-persisted 8th entry", stats)
+	}
+}

@@ -38,10 +38,10 @@ import (
 	"github.com/inca-arch/inca/internal/baseline"
 	"github.com/inca-arch/inca/internal/client"
 	"github.com/inca-arch/inca/internal/core"
-	"github.com/inca-arch/inca/internal/dataflow"
-	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/data"
+	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/endure"
+	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/gpu"
 	"github.com/inca-arch/inca/internal/insitu"
 	"github.com/inca-arch/inca/internal/metrics"
@@ -52,6 +52,7 @@ import (
 	"github.com/inca-arch/inca/internal/sched"
 	"github.com/inca-arch/inca/internal/serve"
 	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 	"github.com/inca-arch/inca/internal/train"
@@ -633,8 +634,66 @@ func SweepConfig(cfg Config) SweepArch { return sweep.ConfigArch(cfg) }
 // {INCA, WS baseline, GPU} × the six ImageNet CNNs × both phases.
 func PaperSweep() SweepPlan { return sweep.PaperPlan() }
 
+// SweepCacheOption configures NewSweepCache.
+type SweepCacheOption func(*SweepCache)
+
 // NewSweepCache returns an empty memoization cache to share across runs.
-func NewSweepCache() *SweepCache { return sweep.NewCache() }
+func NewSweepCache(opts ...SweepCacheOption) *SweepCache {
+	c := sweep.NewCache()
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// ErrSweepEvalPanic reports a sweep cell whose evaluation panicked: the
+// panic is recovered inside the cache, every coalesced waiter unblocks
+// with this error, and the cell key stays retriable. Test with
+// errors.Is on a SweepResult's Err.
+var ErrSweepEvalPanic = sweep.ErrEvalPanic
+
+// --- Persistent result store (warm starts across restarts) ---
+
+type (
+	// ResultStore is the disk-backed, content-addressed result store:
+	// append-only segment files of report JSON keyed by the SHA-256 of
+	// the canonical cell key, with an index rebuilt by scanning at open
+	// (a torn tail record is truncated, not fatal), TTL + size-capped
+	// eviction via segment compaction, and corpus export/import.
+	// Attached to a SweepCache (WithResultStore) or the HTTP service
+	// (ServiceOptions.Store) it makes restarts warm: previously
+	// simulated cells load from disk instead of recomputing.
+	ResultStore = store.Store
+	// ResultStoreOptions bounds OpenResultStore; the zero value is
+	// usable (256 MiB cap, no TTL).
+	ResultStoreOptions = store.Options
+	// ResultStoreStats is the store's counter snapshot (also served at
+	// GET /v1/store/stats and inside /metrics).
+	ResultStoreStats = store.Stats
+	// ResultStoreImport summarizes one corpus import: records added,
+	// skipped (key already present), and rejected (undecodable or
+	// content-address mismatch).
+	ResultStoreImport = store.ImportResult
+)
+
+// OpenResultStore opens (or creates) a persistent result store rooted
+// at dir, rebuilding its index by scanning the segment files. A
+// truncated or torn tail record — a crash mid-append — is discarded and
+// the surviving prefix serves normally.
+func OpenResultStore(dir string, opt ResultStoreOptions) (*ResultStore, error) {
+	return store.Open(dir, opt)
+}
+
+// WithResultStore attaches a persistent store as the cache's second
+// tier: memory misses consult the store before simulating, and fresh
+// results are written through, so the cache warm-starts from disk on
+// the next process.
+//
+//	st, err := inca.OpenResultStore(dir, inca.ResultStoreOptions{})
+//	cache := inca.NewSweepCache(inca.WithResultStore(st))
+func WithResultStore(st *ResultStore) SweepCacheOption {
+	return func(c *SweepCache) { c.SetTier(st) }
+}
 
 // RunSweep evaluates every cell of the plan on a bounded worker pool and
 // returns the results in deterministic plan order. Cancelling ctx stops

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
@@ -145,6 +146,9 @@ type Snapshot struct {
 	// SuiteCache is the experiment suite's shared process-wide cache,
 	// exercised by /v1/experiments.
 	SuiteCache sweep.CacheStats `json:"suite_cache"`
+	// Store is the persistent result store's counter set; omitted when
+	// the server runs memory-only.
+	Store *store.Stats `json:"store,omitempty"`
 	// Runtime is the Go runtime's live state at snapshot time.
 	Runtime RuntimeStats `json:"runtime"`
 	// Kernels is the process-wide tensor-kernel activity (zeros unless a
@@ -188,6 +192,10 @@ func (s *Server) snapshot() Snapshot {
 		SuiteCache: suite.CacheStats(),
 		Runtime:    readRuntimeStats(),
 		Kernels:    tensor.StatsHook().Snapshot(),
+	}
+	if st := s.opt.Store; st != nil {
+		stats := st.Stats()
+		snap.Store = &stats
 	}
 	if t := s.opt.Tracer; t != nil {
 		if ring := t.Ring(); ring != nil {
@@ -235,11 +243,26 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	cacheFam := func(prefix string, st sweep.CacheStats) {
 		scalar(prefix+"_hits_total", "counter", "Cache hits.", st.Hits)
 		scalar(prefix+"_misses_total", "counter", "Cache misses.", st.Misses)
+		scalar(prefix+"_disk_hits_total", "counter", "Misses served by the persistent store instead of simulating.", st.DiskHits)
 		scalar(prefix+"_expired_total", "counter", "Waiters whose context ended mid-flight.", st.Expired)
 		scalar(prefix+"_entries", "gauge", "Stored results.", st.Entries)
 	}
 	cacheFam("inca_cache", snap.Cache)
 	cacheFam("inca_suite_cache", snap.SuiteCache)
+
+	if st := snap.Store; st != nil {
+		scalar("inca_store_hits_total", "counter", "Store reads that found a live record.", st.Hits)
+		scalar("inca_store_misses_total", "counter", "Store reads that found nothing.", st.Misses)
+		scalar("inca_store_expired_total", "counter", "Store reads that found only a TTL-expired record.", st.Expired)
+		scalar("inca_store_puts_total", "counter", "Records appended to the store.", st.Puts)
+		scalar("inca_store_evicted_total", "counter", "Records dropped by size-cap eviction.", st.Evicted)
+		scalar("inca_store_compactions_total", "counter", "Segment compactions completed.", st.Compacts)
+		scalar("inca_store_torn_records_total", "counter", "Torn or corrupt records truncated at open.", st.TornRecords)
+		scalar("inca_store_io_errors_total", "counter", "Disk errors swallowed into miss/no-op degradation.", st.IOErrors)
+		scalar("inca_store_entries", "gauge", "Live records in the store index.", st.Entries)
+		scalar("inca_store_segments", "gauge", "Segment files backing the store.", st.Segments)
+		scalar("inca_store_bytes", "gauge", "Bytes across all segment files.", st.Bytes)
+	}
 
 	scalar("inca_kernel_budget", "gauge", "Process-wide tensor worker budget.", snap.KernelBudget)
 	scalar("inca_kernel_invocations_total", "counter", "Parallel-kernel invocations.", snap.Kernels.Invocations)

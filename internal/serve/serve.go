@@ -35,6 +35,7 @@ import (
 
 	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tensor"
 )
@@ -77,6 +78,18 @@ type Options struct {
 	// Cache memoizes simulation cells across requests. nil gives the
 	// server a private cache.
 	Cache *sweep.Cache
+	// Store, when non-nil, is the persistent result store attached as the
+	// cache's second tier: memory misses consult the store before
+	// simulating, successful cells are written through, and results
+	// survive restarts (cmd/inca-serve opens one with -store-dir). It
+	// also enables GET /v1/store/stats, GET /v1/store/export, and
+	// POST /v1/store/import; without a store those answer 404.
+	Store *store.Store
+	// StoreImportMaxBytes bounds POST /v1/store/import request bodies —
+	// corpus imports are legitimately much larger than simulation
+	// requests, so they get their own cap instead of MaxBodyBytes.
+	// <= 0 means 64 MiB.
+	StoreImportMaxBytes int64
 	// Logger receives structured access and lifecycle logs. nil discards
 	// them (library embedders opt in; cmd/inca-serve passes a real one).
 	Logger *slog.Logger
@@ -127,6 +140,12 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil {
 		o.Cache = sweep.NewCache()
 	}
+	if o.Store != nil {
+		o.Cache.SetTier(o.Store)
+	}
+	if o.StoreImportMaxBytes <= 0 {
+		o.StoreImportMaxBytes = 64 << 20
+	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -167,6 +186,9 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+	mux.HandleFunc("GET /v1/store/export", s.handleStoreExport)
+	mux.HandleFunc("POST /v1/store/import", s.handleStoreImport)
 	mux.HandleFunc("GET /healthz", s.handleLiveness)
 	mux.HandleFunc("GET /healthz/live", s.handleLiveness)
 	mux.HandleFunc("GET /healthz/ready", s.handleReadiness)
@@ -192,6 +214,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Cache returns the server's simulation cache.
 func (s *Server) Cache() *sweep.Cache { return s.cache }
+
+// Store returns the server's persistent result store, nil when the
+// server runs memory-only.
+func (s *Server) Store() *store.Store { return s.opt.Store }
 
 // Tracer returns the server's tracer, nil when tracing is disabled.
 func (s *Server) Tracer() *obs.Tracer { return s.opt.Tracer }

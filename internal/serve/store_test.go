@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/store"
+)
+
+func newStoreServer(t *testing.T, opt Options) (*Server, string, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opt.Store = st
+	s, ts := newTestServer(t, opt)
+	return s, ts.URL, st
+}
+
+const storeSweepBody = `{"archs":["INCA","WS-Baseline"],"models":["LeNet5"],"phases":["inference","training"]}`
+
+func TestStoreEndpointsWithoutStoreAre404(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, req := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/store/stats"},
+		{http.MethodGet, "/v1/store/export"},
+		{http.MethodPost, "/v1/store/import"},
+	} {
+		r, err := http.NewRequest(req.method, ts.URL+req.path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s without a store = %d, want 404", req.method, req.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestStoreStatsAndMetricsReportPersistence(t *testing.T) {
+	s, url, _ := newStoreServer(t, Options{})
+	resp := post(t, url+"/v1/sweep", storeSweepBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	readAll(t, resp)
+
+	get, err := http.Get(url + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Store    store.Stats `json:"store"`
+		DiskHits int64       `json:"disk_hits"`
+	}
+	if err := json.Unmarshal(readAll(t, get), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Store.Entries != 4 || stats.Store.Puts != 4 {
+		t.Fatalf("store stats after a 4-cell sweep = %+v", stats.Store)
+	}
+	if stats.DiskHits != 0 {
+		t.Fatalf("disk_hits = %d on a cold store", stats.DiskHits)
+	}
+
+	// /metrics carries the same store block and the cache's disk_hits
+	// dimension, in JSON and Prometheus form.
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(readAll(t, mresp), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Store == nil || snap.Store.Entries != 4 {
+		t.Fatalf("metrics store block = %+v", snap.Store)
+	}
+	var buf bytes.Buffer
+	if err := writePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"inca_store_entries 4", "inca_cache_disk_hits_total 0", "inca_store_puts_total 4"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("prometheus output missing %q", want)
+		}
+	}
+	_ = s
+}
+
+func TestStoreExportImportTransfersCorpus(t *testing.T) {
+	_, urlA, _ := newStoreServer(t, Options{})
+	resp := post(t, urlA+"/v1/sweep", storeSweepBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep = %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	eresp, err := http.Get(urlA + "/v1/store/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := readAll(t, eresp)
+	if eresp.Header.Get("Content-Type") != "application/x-ndjson" {
+		t.Fatalf("export content type = %q", eresp.Header.Get("Content-Type"))
+	}
+	if lines := bytes.Count(corpus, []byte("\n")); lines != 4 {
+		t.Fatalf("export lines = %d, want 4", lines)
+	}
+
+	// A second fleet member imports the corpus and then serves the same
+	// sweep entirely from disk: every cell cached, zero simulations.
+	bSrv, urlB, _ := newStoreServer(t, Options{})
+	iresp := post(t, urlB+"/v1/store/import", string(corpus), nil)
+	if iresp.StatusCode != http.StatusOK {
+		t.Fatalf("import = %d: %s", iresp.StatusCode, readAll(t, iresp))
+	}
+	var ir store.ImportResult
+	if err := json.Unmarshal(readAll(t, iresp), &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Added != 4 || ir.Rejected != 0 {
+		t.Fatalf("import result = %+v", ir)
+	}
+	sresp := post(t, urlB+"/v1/sweep", storeSweepBody, nil)
+	var sweepResp SweepResponse
+	if err := json.Unmarshal(readAll(t, sresp), &sweepResp); err != nil {
+		t.Fatal(err)
+	}
+	if sweepResp.Cached != 4 || sweepResp.Failed != 0 {
+		t.Fatalf("imported-corpus sweep: cached=%d failed=%d, want 4/0", sweepResp.Cached, sweepResp.Failed)
+	}
+	if hits := bSrv.Cache().DiskHits(); hits != 4 {
+		t.Fatalf("disk_hits = %d, want 4", hits)
+	}
+	if misses := bSrv.Cache().Misses(); misses != 0 {
+		t.Fatalf("misses = %d, want 0 (no re-simulation)", misses)
+	}
+}
+
+func TestStoreImportBodyCap(t *testing.T) {
+	_, url, _ := newStoreServer(t, Options{StoreImportMaxBytes: 128})
+	big := strings.Repeat("x", 1024)
+	resp := post(t, url+"/v1/store/import", big, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized import = %d, want 413", resp.StatusCode)
+	}
+	readAll(t, resp)
+}

@@ -1,0 +1,757 @@
+// Package store is the persistent, content-addressed result tier under
+// the sweep engine's memo cache. The in-memory cache dies with the
+// process, so a restarted service recomputes every design-space cell a
+// fleet has already paid for; this package makes those results durable
+// and shareable:
+//
+//   - append-only segment files (seg-NNNNNN.log) of CRC-framed JSON
+//     records, each holding one sim.Report addressed by the SHA-256 of
+//     its canonical 5-segment cell key — content addressing makes merge
+//     and dedupe trivial (equal keys produce byte-identical reports);
+//   - an in-memory index rebuilt by scanning the segments at Open, so
+//     the warm start costs one sequential read of the directory and no
+//     separate index file can desynchronize from the data;
+//   - crash safety by construction: only the active tail segment is ever
+//     appended to, so a crash can tear at most the final record, and
+//     Open truncates a torn tail instead of failing — the surviving
+//     prefix keeps serving;
+//   - TTL expiry and a total-size cap enforced by segment compaction:
+//     live records are rewritten into a fresh segment (newest segment
+//     wins on duplicate keys), expired and evicted ones are dropped,
+//     old segments deleted;
+//   - corpus export/import as JSON lines, so fleets share precomputed
+//     results: a shard imports its peers' corpora and serves their
+//     cells from disk instead of re-simulating.
+//
+// Store implements the sweep.Tier contract (Get/Put by canonical key
+// string); layer one under a cache with sweep.Cache.SetTier or the
+// facade's inca.WithResultStore.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/inca-arch/inca/internal/sim"
+)
+
+// Segment framing. Each segment file starts with an 8-byte magic and
+// carries length-prefixed records:
+//
+//	[4B little-endian payload length][4B IEEE CRC-32 of payload][payload]
+//
+// The payload is one JSON record (see record). The CRC detects torn or
+// bit-rotted tails; the length prefix bounds reads so a corrupt length
+// cannot allocate unboundedly.
+const (
+	segMagic     = "INCASTO1"
+	recHeaderLen = 8
+	// maxRecordBytes bounds a single record's payload: a full ImageNet
+	// report is tens of KB, so 16 MiB is generous and still rejects a
+	// corrupt length prefix before it allocates gigabytes.
+	maxRecordBytes = 16 << 20
+)
+
+// Sentinel errors.
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt reports an import record whose content hash does not
+	// match its key — a corrupted or tampered corpus line.
+	ErrCorrupt = errors.New("store: corrupt record")
+)
+
+// Options configures Open. The zero value is production-usable.
+type Options struct {
+	// MaxBytes caps the total size of all segment files; exceeding it
+	// triggers a compaction that drops expired records first, then the
+	// oldest live ones. <= 0 means 256 MiB.
+	MaxBytes int64
+	// TTL expires records that long after they were stored: expired
+	// records answer Get as misses and are dropped at the next
+	// compaction. <= 0 means no expiry.
+	TTL time.Duration
+	// SegmentMaxBytes rolls the active segment once it grows past this
+	// size, bounding the blast radius of a torn tail and the unit of
+	// compaction. <= 0 means 8 MiB.
+	SegmentMaxBytes int64
+	// now is the test clock hook; nil means time.Now.
+	now func() time.Time
+}
+
+// withDefaults resolves every unset option.
+func (o Options) withDefaults() Options {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 256 << 20
+	}
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 8 << 20
+	}
+	if o.SegmentMaxBytes > o.MaxBytes {
+		o.SegmentMaxBytes = o.MaxBytes
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// record is the JSON payload of one stored result. CreatedUnixNano
+// drives TTL expiry and oldest-first eviction; Addr is the hex SHA-256
+// of Key — redundant on disk (it recomputes from Key) but kept in the
+// wire form so corpus consumers can verify content addresses without
+// re-hashing.
+type record struct {
+	Key     string          `json:"key"`
+	Addr    string          `json:"addr"`
+	Created int64           `json:"created_unix_nano"`
+	Report  json.RawMessage `json:"report"`
+}
+
+// indexEntry locates one live record: which segment, where, how long,
+// and when it was created (for TTL and eviction order).
+type indexEntry struct {
+	seg     int   // segment ID
+	off     int64 // record start (the length prefix)
+	size    int64 // full framed size: header + payload
+	created int64 // unix nanos
+}
+
+// segment is one open segment file.
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64
+}
+
+// Stats is a point-in-time snapshot of a store's counters and footprint,
+// in the shape GET /v1/store/stats serves.
+type Stats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Expired  int64 `json:"expired"`
+	Puts     int64 `json:"puts"`
+	Evicted  int64 `json:"evicted"`
+	Compacts int64 `json:"compactions"`
+	// TornRecords counts torn or corrupt tail records dropped during
+	// index rebuilds — nonzero after recovering from a crash mid-append.
+	TornRecords int64 `json:"torn_records"`
+	// IOErrors counts reads/writes the store swallowed (Get degrades to
+	// a miss, Put to a no-op): the cache above must keep working when
+	// the disk does not.
+	IOErrors int64  `json:"io_errors"`
+	Entries  int    `json:"entries"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	Dir      string `json:"dir"`
+}
+
+// Store is a disk-backed, content-addressed result store. It is safe
+// for concurrent use; a Store may be shared as the second tier of any
+// number of sweep caches. Construct with Open.
+type Store struct {
+	dir string
+	opt Options
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	expired  atomic.Int64
+	puts     atomic.Int64
+	evicted  atomic.Int64
+	compacts atomic.Int64
+	torn     atomic.Int64
+	ioErrs   atomic.Int64
+
+	mu     sync.Mutex
+	index  map[string]indexEntry // content address (hex SHA-256 of key) → location
+	keys   map[string]string     // content address → canonical key (collision guard, export)
+	segs   map[int]*segment
+	active *segment
+	nextID int
+	closed bool
+}
+
+// addr returns the content address of a canonical cell key.
+func addr(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Open opens (creating if needed) the store rooted at dir and rebuilds
+// the in-memory index by scanning every segment — the warm start. A
+// torn tail record (crash mid-append) is truncated, not fatal; segments
+// that cannot be opened at all fail Open.
+func Open(dir string, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opt:   opt,
+		index: make(map[string]indexEntry),
+		keys:  make(map[string]string),
+		segs:  make(map[int]*segment),
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ids := make([]int, 0, len(names))
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.log", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	// Scan in ID order so a record in a later segment (a re-put or a
+	// compaction survivor) wins over any earlier copy of the same key.
+	sort.Ints(ids)
+	for _, id := range ids {
+		seg, err := s.openSegment(id)
+		if err != nil {
+			s.closeLocked()
+			return nil, err
+		}
+		s.segs[id] = seg
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	if len(ids) > 0 {
+		s.active = s.segs[ids[len(ids)-1]]
+	}
+	return s, nil
+}
+
+// openSegment opens one segment file and indexes its records, truncating
+// a torn or corrupt tail to the last cleanly-framed record.
+func (s *Store) openSegment(id int) (*segment, error) {
+	path := s.segPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	good, err := s.scanSegment(id, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if good < fi.Size() {
+		// Crash recovery: everything past the last good record is a torn
+		// append. Drop it so the file is clean for future appends.
+		s.torn.Add(1)
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	return &segment{id: id, path: path, f: f, size: good}, nil
+}
+
+// scanSegment walks a segment's records, indexing each good one, and
+// returns the offset of the first byte that is not part of a cleanly
+// framed record (the truncation point for a torn tail).
+func (s *Store) scanSegment(id int, f *os.File) (int64, error) {
+	r := bufio.NewReader(io.NewSectionReader(f, 0, 1<<62))
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != segMagic {
+		// A file too short for the magic, or with the wrong one, holds no
+		// recoverable records; reinitialize it as an empty segment.
+		s.torn.Add(1)
+		return int64(len(segMagic)), s.writeMagic(f)
+	}
+	off := int64(len(segMagic))
+	header := make([]byte, recHeaderLen)
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			return off, nil // clean EOF or torn header: truncate here
+		}
+		n := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if n == 0 || n > maxRecordBytes {
+			return off, nil // corrupt length: everything past here is suspect
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, nil // bit rot or torn write caught by the CRC
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Key == "" {
+			return off, nil // framed but undecodable: stop, do not index
+		}
+		a := addr(rec.Key)
+		s.index[a] = indexEntry{seg: id, off: off, size: recHeaderLen + int64(n), created: rec.Created}
+		s.keys[a] = rec.Key
+		off += recHeaderLen + int64(n)
+	}
+}
+
+// writeMagic initializes an empty or unrecognizable segment file.
+func (s *Store) writeMagic(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.log", id))
+}
+
+// newSegment creates and opens the next segment file.
+func (s *Store) newSegment() (*segment, error) {
+	id := s.nextID
+	s.nextID++
+	path := s.segPath(id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	seg := &segment{id: id, path: path, f: f, size: int64(len(segMagic))}
+	s.segs[id] = seg
+	return seg, nil
+}
+
+// Get returns the stored report for the canonical cell key, or false on
+// a miss — unknown key, expired record, or an unreadable segment (the
+// store degrades to recomputation, never fails the lookup). The
+// signature matches sweep.Tier.
+func (s *Store) Get(key string) (*sim.Report, bool) {
+	a := addr(key)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	e, ok := s.index[a]
+	if ok && s.keys[a] != key {
+		ok = false // hash collision or mixed corpus: never serve a foreign key
+	}
+	if ok && s.expiredAt(e.created, s.opt.now()) {
+		s.expired.Add(1)
+		ok = false
+	}
+	var seg *segment
+	if ok {
+		seg = s.segs[e.seg]
+	}
+	s.mu.Unlock()
+	if !ok || seg == nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	rec, err := readRecord(seg.f, e.off, e.size)
+	if err != nil || rec.Key != key {
+		s.ioErrs.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	var rep sim.Report
+	if err := json.Unmarshal(rec.Report, &rep); err != nil {
+		s.ioErrs.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return &rep, true
+}
+
+// expiredAt reports whether a record created at the given unix-nano
+// timestamp is past the store's TTL at time now.
+func (s *Store) expiredAt(created int64, now time.Time) bool {
+	return s.opt.TTL > 0 && now.Sub(time.Unix(0, created)) > s.opt.TTL
+}
+
+// readPayload reads and CRC-verifies one framed record at the given
+// location, returning the raw JSON payload bytes.
+func readPayload(f *os.File, off, size int64) ([]byte, error) {
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if int64(n)+recHeaderLen != size || crc32.ChecksumIEEE(buf[recHeaderLen:]) != sum {
+		return nil, ErrCorrupt
+	}
+	return buf[recHeaderLen:], nil
+}
+
+// readRecord reads, verifies, and decodes one framed record.
+func readRecord(f *os.File, off, size int64) (record, error) {
+	var rec record
+	payload, err := readPayload(f, off, size)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// Put stores the report under the canonical cell key, overwriting any
+// previous record for the key (the newer one wins at the index; the old
+// bytes fall away at the next compaction). Disk errors are swallowed
+// into the IOErrors counter — a failing disk must not fail the sweep
+// above it. The signature matches sweep.Tier.
+func (s *Store) Put(key string, rep *sim.Report) {
+	if rep == nil {
+		return
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		s.ioErrs.Add(1)
+		return
+	}
+	a := addr(key)
+	created := s.opt.now().UnixNano()
+	payload, err := json.Marshal(record{Key: key, Addr: a, Created: created, Report: body})
+	if err != nil {
+		s.ioErrs.Add(1)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if err := s.appendLocked(a, key, payload, created); err != nil {
+		s.ioErrs.Add(1)
+		return
+	}
+	s.puts.Add(1)
+	if s.totalBytesLocked() > s.opt.MaxBytes {
+		if err := s.compactLocked(); err != nil {
+			s.ioErrs.Add(1)
+		}
+	}
+}
+
+// appendLocked frames and appends one payload to the active segment,
+// rolling to a fresh segment first when the active one is full.
+func (s *Store) appendLocked(a, key string, payload []byte, created int64) error {
+	if s.active == nil || s.active.size+recHeaderLen+int64(len(payload)) > s.opt.SegmentMaxBytes {
+		seg, err := s.newSegment()
+		if err != nil {
+			return err
+		}
+		s.active = seg
+	}
+	seg := s.active
+	framed := frame(payload)
+	if _, err := seg.f.WriteAt(framed, seg.size); err != nil {
+		return err
+	}
+	s.index[a] = indexEntry{seg: seg.id, off: seg.size, size: int64(len(framed)), created: created}
+	s.keys[a] = key
+	seg.size += int64(len(framed))
+	return nil
+}
+
+// frame prefixes a payload with its length and CRC.
+func frame(payload []byte) []byte {
+	out := make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[recHeaderLen:], payload)
+	return out
+}
+
+func (s *Store) totalBytesLocked() int64 {
+	var n int64
+	for _, seg := range s.segs {
+		n += seg.size
+	}
+	return n
+}
+
+// compactLocked rewrites the live records into fresh segments and
+// deletes the old ones: expired records are dropped first, then the
+// oldest live records until the survivors fit in MaxBytes. The new
+// segments get higher IDs than every old one, so a crash between
+// writing them and deleting the old files recovers to a consistent
+// newest-wins index (at worst resurrecting some evicted bytes, which
+// the next compaction drops again).
+func (s *Store) compactLocked() error {
+	s.compacts.Add(1)
+	type live struct {
+		a       string
+		key     string
+		payload []byte
+		created int64
+	}
+	now := s.opt.now()
+	var survivors []live
+	for a, e := range s.index {
+		if s.expiredAt(e.created, now) {
+			s.expired.Add(1)
+			continue
+		}
+		seg := s.segs[e.seg]
+		if seg == nil {
+			continue
+		}
+		payload, err := readPayload(seg.f, e.off, e.size)
+		if err != nil {
+			s.ioErrs.Add(1)
+			continue
+		}
+		survivors = append(survivors, live{a: a, key: s.keys[a], payload: payload, created: e.created})
+	}
+	// Oldest-first eviction until the survivors fit comfortably (90% of
+	// the cap, so one more Put does not immediately re-trigger).
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].created < survivors[j].created })
+	budget := s.opt.MaxBytes * 9 / 10
+	var total int64
+	for _, sv := range survivors {
+		total += recHeaderLen + int64(len(sv.payload))
+	}
+	drop := 0
+	for drop < len(survivors) && total > budget {
+		total -= recHeaderLen + int64(len(survivors[drop].payload))
+		s.evicted.Add(1)
+		drop++
+	}
+	survivors = survivors[drop:]
+
+	old := s.segs
+	s.segs = make(map[int]*segment)
+	s.index = make(map[string]indexEntry)
+	s.keys = make(map[string]string)
+	s.active = nil
+	for _, sv := range survivors {
+		if err := s.appendLocked(sv.a, sv.key, sv.payload, sv.created); err != nil {
+			return err
+		}
+	}
+	for _, seg := range old {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	return nil
+}
+
+// Compact runs a compaction immediately: expired records are dropped and
+// the store is shrunk under its size cap. Put triggers this on demand;
+// Compact exists for operational use (free space now, not at the next
+// overflow).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// Len reports the number of indexed (live or expired-but-uncompacted)
+// records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the store's counters and footprint. Each field is
+// individually exact; the set is read without stopping writers.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries := len(s.index)
+	segments := len(s.segs)
+	bytes := s.totalBytesLocked()
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Expired:     s.expired.Load(),
+		Puts:        s.puts.Load(),
+		Evicted:     s.evicted.Load(),
+		Compacts:    s.compacts.Load(),
+		TornRecords: s.torn.Load(),
+		IOErrors:    s.ioErrs.Load(),
+		Entries:     entries,
+		Segments:    segments,
+		Bytes:       bytes,
+		Dir:         s.dir,
+	}
+}
+
+// Export writes every live (non-expired) record to w as JSON lines —
+// the corpus format Import reads. Records export in deterministic key
+// order so equal stores produce byte-identical corpora. It returns the
+// number of records written.
+func (s *Store) Export(w io.Writer) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	type loc struct {
+		key string
+		e   indexEntry
+		seg *segment
+	}
+	now := s.opt.now()
+	locs := make([]loc, 0, len(s.index))
+	for a, e := range s.index {
+		if s.expiredAt(e.created, now) {
+			continue
+		}
+		if seg := s.segs[e.seg]; seg != nil {
+			locs = append(locs, loc{key: s.keys[a], e: e, seg: seg})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(locs, func(i, j int) bool { return locs[i].key < locs[j].key })
+	bw := bufio.NewWriter(w)
+	n := 0
+	for _, l := range locs {
+		// The stored payload is already one compact JSON object with no
+		// embedded newlines — it is the corpus line verbatim.
+		payload, err := readPayload(l.seg.f, l.e.off, l.e.size)
+		if err != nil {
+			s.ioErrs.Add(1)
+			continue
+		}
+		if _, err := bw.Write(payload); err != nil {
+			return n, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ImportResult summarizes one Import: how many corpus records were
+// added, skipped because the store already holds the key, or rejected
+// (undecodable lines, content-address mismatches).
+type ImportResult struct {
+	Added    int `json:"added"`
+	Skipped  int `json:"skipped"`
+	Rejected int `json:"rejected"`
+}
+
+// Import merges a corpus (the Export format) into the store: records
+// for unknown keys are appended, records for keys the store already
+// holds are skipped (the local copy wins — equal keys mean byte-
+// identical reports, so there is nothing to reconcile), and records
+// whose content address does not match their key are rejected. Lines
+// longer than maxLineBytes (<= 0 means 16 MiB) fail the import.
+func (s *Store) Import(r io.Reader, maxLineBytes int) (ImportResult, error) {
+	if maxLineBytes <= 0 {
+		maxLineBytes = maxRecordBytes
+	}
+	var res ImportResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			res.Rejected++
+			continue
+		}
+		a := addr(rec.Key)
+		if rec.Addr != "" && rec.Addr != a {
+			res.Rejected++
+			continue
+		}
+		rec.Addr = a
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			res.Rejected++
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return res, ErrClosed
+		}
+		if _, exists := s.index[a]; exists {
+			s.mu.Unlock()
+			res.Skipped++
+			continue
+		}
+		err = s.appendLocked(a, rec.Key, payload, rec.Created)
+		overflow := s.totalBytesLocked() > s.opt.MaxBytes
+		if err == nil && overflow {
+			err = s.compactLocked()
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.ioErrs.Add(1)
+			res.Rejected++
+			continue
+		}
+		res.Added++
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("store: reading corpus: %w", err)
+	}
+	s.puts.Add(int64(res.Added))
+	return res, nil
+}
+
+// Close releases the segment file handles. Get degrades to misses and
+// Put to no-ops afterwards, so a cache still holding the store as its
+// tier keeps working (memory-only) during shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked()
+}
+
+func (s *Store) closeLocked() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

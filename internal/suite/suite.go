@@ -36,6 +36,12 @@ var engineCache = sweep.NewCache()
 // own cache).
 func CacheStats() sweep.CacheStats { return engineCache.Stats() }
 
+// AttachResultStore gives the shared experiment cache a persistent
+// second tier (nil detaches): suite cells then survive the process, so
+// repeated cmd/inca-experiments invocations warm-start from disk
+// instead of re-simulating their whole grids.
+func AttachResultStore(t sweep.Tier) { engineCache.SetTier(t) }
+
 // evalPlan runs a plan on the sweep engine with the shared cache and
 // returns the reports in deterministic plan order (architectures
 // outermost, then overrides, networks, phases). Any cell failure —

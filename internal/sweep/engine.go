@@ -107,6 +107,15 @@ type Result struct {
 // channel closes once every cell has reported. Cancelling ctx stops new
 // evaluations; cells that never ran surface with Err set to ctx's error.
 // An invalid plan is reported synchronously and launches nothing.
+//
+// The channel is buffered to the full cell count, so the run never
+// blocks on its consumer: a caller that stops draining mid-sweep leaks
+// no goroutines and cannot wedge the worker pool — every cell still
+// lands in the buffer, the channel still closes, and the process-wide
+// kernel budget installed via Options.KernelParallelism is still
+// restored. Abandoning the channel without cancelling ctx lets the
+// remaining cells evaluate in the background; cancel ctx to stop paying
+// for them (they complete immediately with the context error).
 func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 	cells, err := p.Cells()
 	if err != nil {
@@ -129,7 +138,11 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 	launch := obs.ContextTracer(ctx).Now()
 
 	feed := make(chan Cell)
-	out := make(chan Result)
+	// Buffered to the cell count: sends below never block, which is what
+	// guarantees restoreKernels runs (and goroutines exit) even when the
+	// consumer walks away. One Result per cell is a few words; even a
+	// 100k-cell grid buffers only megabytes.
+	out := make(chan Result, len(cells))
 	var wg sync.WaitGroup
 	for i := 0; i < opt.workers(len(cells)); i++ {
 		wg.Add(1)

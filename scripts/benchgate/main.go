@@ -1,0 +1,131 @@
+// Command benchgate compares two recorded benchmark baselines
+// (BENCH_PR{n}.json files written by cmd/inca-bench) and fails when any
+// kernel present in both regressed by more than the tolerance. It is
+// the regression tripwire behind `make bench-gate` and CI: baselines
+// are checked in, so the comparison is deterministic — no benchmarks
+// run at gate time.
+//
+// Usage:
+//
+//	benchgate [-tolerance 0.10] OLD.json NEW.json
+//
+// A kernel regresses when its parallel_ns (the configuration the
+// library actually ships with) grew by more than tolerance relative to
+// the old baseline. Kernels that appear in only one file are reported
+// and skipped — new probes enter the gate one PR later, once a second
+// baseline records them. The BENCH_GATE_TOLERANCE environment variable
+// overrides the default tolerance (a fraction: 0.10 means +10%).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// kernelResult mirrors cmd/inca-bench's KernelResult JSON.
+type kernelResult struct {
+	Name       string  `json:"name"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// baseline mirrors cmd/inca-bench's Baseline JSON.
+type baseline struct {
+	PR      int            `json:"pr"`
+	Reps    int            `json:"reps"`
+	Kernels []kernelResult `json:"kernels"`
+}
+
+func load(path string) (baseline, error) {
+	var b baseline
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Kernels) == 0 {
+		return b, fmt.Errorf("%s: no kernel results", path)
+	}
+	return b, nil
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tolerance := fs.Float64("tolerance", 0.10,
+		"allowed fractional slowdown before the gate fails (0.10 = +10%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if env := os.Getenv("BENCH_GATE_TOLERANCE"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(stderr, "benchgate: bad BENCH_GATE_TOLERANCE %q\n", env)
+			return 2
+		}
+		*tolerance = v
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchgate [-tolerance 0.10] OLD.json NEW.json")
+		return 2
+	}
+	oldB, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+	newB, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+
+	prev := make(map[string]kernelResult, len(oldB.Kernels))
+	for _, k := range oldB.Kernels {
+		prev[k.Name] = k
+	}
+	failed := 0
+	compared := 0
+	for _, k := range newB.Kernels {
+		base, ok := prev[k.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "NEW   %-34s %12dns (no prior baseline, not gated)\n",
+				k.Name, k.ParallelNs)
+			continue
+		}
+		delete(prev, k.Name)
+		compared++
+		ratio := float64(k.ParallelNs)/float64(base.ParallelNs) - 1
+		status := "OK   "
+		if ratio > *tolerance {
+			status = "FAIL "
+			failed++
+		}
+		fmt.Fprintf(stdout, "%s %-34s %12dns -> %12dns  %+6.1f%%\n",
+			status, k.Name, base.ParallelNs, k.ParallelNs, 100*ratio)
+	}
+	for name := range prev {
+		fmt.Fprintf(stdout, "GONE  %-34s dropped from the new baseline\n", name)
+	}
+	if compared == 0 {
+		fmt.Fprintln(stderr, "benchgate: no kernel names in common — nothing gated")
+		return 2
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "benchgate: %d kernel(s) slower than the %+.0f%% tolerance\n",
+			failed, 100**tolerance)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: ok (%d kernels within %+.0f%%)\n", compared, 100**tolerance)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
