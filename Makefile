@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-gate bench-sweep serve-smoke chaos trace profile
+.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-pr8 bench-gate bench-sweep serve-smoke cluster-smoke chaos trace profile
 
 check: vet build race api-surface bench-gate
 
@@ -41,6 +41,11 @@ bench-pr6:
 bench-pr7:
 	$(GO) run ./cmd/inca-bench -o BENCH_PR7.json -pr 7
 
+# Cluster era baseline: everything above plus the request-coalescing
+# probe (a 32-request thundering herd, coalescer off vs on).
+bench-pr8:
+	$(GO) run ./cmd/inca-bench -o BENCH_PR8.json -pr 8
+
 # Deterministic perf-regression gate: compares the two newest committed
 # BENCH_PR*.json baselines and fails on a >10% slowdown in any kernel
 # present in both. Override the tolerance with BENCH_GATE_TOLERANCE.
@@ -77,3 +82,11 @@ profile:
 # then SIGTERM and require a clean drained exit.
 serve-smoke:
 	GO=$(GO) sh scripts/serve_smoke.sh
+
+# End-to-end smoke of the sharded cluster: boot 3 shards + coordinator +
+# a single-node reference, sweep through the coordinator (CSV must be
+# byte-identical to the reference), SIGKILL one shard and sweep again
+# (still byte-identical, readiness degraded but 200), then clean SIGTERM
+# exits for every surviving node.
+cluster-smoke:
+	GO=$(GO) sh scripts/cluster_smoke.sh

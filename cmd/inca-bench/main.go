@@ -4,12 +4,13 @@
 // baselines). The kernels are shaped like the ResNet-50 mid-network
 // layers that dominate the training experiments' wall clock, plus a
 // store warm-start probe timing disk-served replay against cold
-// recompute.
+// recompute and a request-coalescing probe timing a thundering herd of
+// identical sweeps with the coalescer off versus on.
 //
 // Usage:
 //
 //	inca-bench                     # print the report to stdout
-//	inca-bench -o BENCH_PR7.json -pr 7   # write the baseline file
+//	inca-bench -o BENCH_PR8.json -pr 8   # write the baseline file
 //	inca-bench -reps 5 -workers 8  # more repetitions, explicit budget
 //	inca-bench -cpuprofile cpu.pprof   # capture a CPU profile of the run
 package main
@@ -21,13 +22,18 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
 	"time"
 
 	"github.com/inca-arch/inca/internal/cli"
 	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/serve"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/sweep"
@@ -59,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("inca-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "write the JSON baseline to this file (default: stdout only)")
-	pr := fs.Int("pr", 7, "PR number recorded in the baseline")
+	pr := fs.Int("pr", 8, "PR number recorded in the baseline")
 	reps := fs.Int("reps", 3, "repetitions per kernel; the fastest is kept")
 	workers := fs.Int("workers", 0, "parallel worker budget (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
@@ -94,6 +100,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	b.PR = *pr
 	if res, err := benchStore(*reps); err != nil {
 		fmt.Fprintln(stderr, "inca-bench: store benchmark:", err)
+		return 1
+	} else {
+		b.Kernels = append(b.Kernels, res)
+	}
+	if res, err := benchCoalesce(*reps); err != nil {
+		fmt.Fprintln(stderr, "inca-bench: coalesce benchmark:", err)
 		return 1
 	} else {
 		b.Kernels = append(b.Kernels, res)
@@ -212,6 +224,87 @@ func benchStore(reps int) (KernelResult, error) {
 		SerialNs:   cold.Nanoseconds(),
 		ParallelNs: warm.Nanoseconds(),
 		Speedup:    float64(cold) / float64(warm),
+	}, nil
+}
+
+// benchCoalesce times a thundering herd — herdSize concurrent,
+// identical sweep requests against an in-process server — with the
+// coalescing layer off ("serial": every request runs the handler; the
+// memo cache still dedups cells) versus on ("parallel": one leader
+// executes, the herd replays its recorded response). The speedup is the
+// per-request dividend of answering a herd before admission. Each run
+// gets a fresh server and cache; the fastest of reps runs is kept for
+// each mode.
+func benchCoalesce(reps int) (KernelResult, error) {
+	const herdSize = 32
+	body := `{"archs":["inca","baseline"],"models":["LeNet5","VGG16-CIFAR"],"phases":["inference","training"]}`
+
+	herd := func(coalesce bool) (time.Duration, error) {
+		s := serve.New(serve.Options{
+			Coalesce: serve.CoalesceOptions{Enabled: coalesce, MaxWait: 5 * time.Second},
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		var wg sync.WaitGroup
+		errs := make(chan error, herdSize)
+		start := time.Now()
+		for i := 0; i < herdSize; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("herd request answered %d", resp.StatusCode)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	best := func(coalesce bool) (time.Duration, error) {
+		if _, err := herd(coalesce); err != nil { // warm-up run
+			return 0, err
+		}
+		fastest := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			d, err := herd(coalesce)
+			if err != nil {
+				return 0, err
+			}
+			if d < fastest {
+				fastest = d
+			}
+		}
+		return fastest, nil
+	}
+
+	off, err := best(false)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	on, err := best(true)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	return KernelResult{
+		Name:       "CoalesceHerd-32x8cells",
+		SerialNs:   off.Nanoseconds(),
+		ParallelNs: on.Nanoseconds(),
+		Speedup:    float64(off) / float64(on),
 	}, nil
 }
 

@@ -13,6 +13,7 @@
 //	sweep     -archs inca,baseline -models LeNet5 -phases inference,training
 //	models    list the server's model zoo
 //	metrics   fetch the server's counter snapshot
+//	ready     probe /healthz/ready once (no retries); exit 0 when ready
 //
 // Every command prints the server's JSON answer to stdout.
 package main
@@ -52,7 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the server-returned trace ID (X-Trace-Id) to stderr")
 	logLevel := cli.LogLevelFlag(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|models|metrics} [flags]")
+		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|models|metrics|ready} [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +102,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		out, err = c.Models(ctx)
 	case "metrics":
 		out, err = c.Metrics(ctx)
+	case "ready":
+		// A single unretried probe: scripts poll a booting (or cluster)
+		// node for readiness, and a retried probe would lie about it.
+		if err = c.Ready(ctx); err == nil {
+			out = map[string]string{"status": "ready"}
+		}
 	default:
 		fmt.Fprintf(stderr, "inca-client: unknown command %q\n", cmd)
 		fs.Usage()

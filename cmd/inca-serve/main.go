@@ -12,11 +12,21 @@
 //	inca-serve -store-dir /var/lib/inca   # persist results; restarts warm-start from disk
 //	inca-serve -trace-jsonl t.jsonl -pprof   # tracing + profiling endpoints
 //	inca-serve -chaos-seed 42      # opt-in fault injection (never in production)
+//	inca-serve -peers http://10.0.0.2:8321,http://10.0.0.3:8321   # cluster coordinator
+//	inca-serve -shard-id s1 -warm-from http://10.0.0.2:8321       # shard, warm-started
+//
+// With -peers the node becomes a cluster coordinator: /v1/sweep cells
+// are consistent-hashed across the peers by cache key, dispatched in
+// parallel, and merged back in plan order; a peer lost mid-sweep has
+// its cells rehashed onto the survivors, and /healthz/ready reports
+// per-peer health. Identical concurrent requests coalesce into one
+// execution unless -coalesce=false.
 //
 // Endpoints:
 //
 //	POST /v1/simulate            one (config, network, phase) cell
 //	POST /v1/sweep               declarative plan on the parallel engine
+//	POST /v1/shard/sweep         explicit cell list (cluster coordinators call this)
 //	GET  /v1/models              the network zoo
 //	GET  /v1/experiments         experiment index
 //	GET  /v1/experiments/{id}    one paper table/figure
@@ -31,6 +41,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -38,11 +49,16 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/inca-arch/inca"
 	"github.com/inca-arch/inca/internal/cli"
+	"github.com/inca-arch/inca/internal/client"
+	"github.com/inca-arch/inca/internal/cluster"
+	"github.com/inca-arch/inca/internal/serve"
+	"github.com/inca-arch/inca/internal/sweep"
 )
 
 func main() {
@@ -76,7 +92,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	chaosSeed := fs.Int64("chaos-seed", 0, "arm the fault injector with this seed (0 = off; never use in production)")
 	chaosProb := fs.Float64("chaos-prob", 0.1, "per-request probability of each armed chaos fault")
 	chaosLatency := fs.Duration("chaos-latency", 50*time.Millisecond, "injected latency for the chaos latency fault")
+	peers := fs.String("peers", "", "comma-separated shard base URLs; non-empty makes this node a cluster coordinator")
+	shardID := fs.String("shard-id", "", "this node's name in shard responses and readiness bodies")
+	coalesceOn := fs.Bool("coalesce", true, "coalesce identical concurrent /v1/simulate and /v1/sweep requests into one execution")
+	coalesceWait := fs.Duration("coalesce-wait", 250*time.Millisecond, "coalescing window, measured from a flight's start")
+	warmFrom := fs.String("warm-from", "", "peer base URL to pull the result corpus from at boot (needs -store-dir)")
+	retryJitterSeed := fs.Int64("retry-jitter-seed", 1, "seed for Retry-After jitter on 503 responses (0 = exact hints, no jitter)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *warmFrom != "" && *storeDir == "" {
+		fmt.Fprintln(stderr, "inca-serve: -warm-from needs -store-dir (the corpus lands in the persistent store)")
 		return 2
 	}
 	if *kernels > 0 {
@@ -135,6 +161,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			"dir", stats.Dir, "entries", stats.Entries,
 			"segments", stats.Segments, "bytes", stats.Bytes,
 			"torn_records", stats.TornRecords)
+		// Cluster warm start: pull a sibling's exported corpus into the
+		// local store before serving, so a fresh shard answers its ring
+		// share from disk instead of recomputing the cluster's history.
+		// A failed pull degrades to a cold start — the peer may simply
+		// not be up yet.
+		if *warmFrom != "" {
+			if err := warmStart(ctx, st, *warmFrom, logger); err != nil {
+				logger.Warn("warm start failed, starting cold", "from", *warmFrom, "err", err.Error())
+			}
+		}
 	}
 
 	// Chaos mode is strictly opt-in: without -chaos-seed the injector is
@@ -148,6 +184,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			"seed", *chaosSeed, "prob", *chaosProb, "latency", chaosLatency.String())
 	}
 
+	// The cache is built up front (instead of letting the service default
+	// one) so a cluster coordinator's local-fallback engine shares it.
+	cache := sweep.NewCache()
+	var sharder serve.Sharder
+	if *peers != "" {
+		peerList := splitPeers(*peers)
+		co, err := cluster.New(cluster.Options{
+			Peers:  peerList,
+			Client: client.Options{Logger: logger},
+			Cache:  cache,
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "inca-serve:", err)
+			return 2
+		}
+		sharder = co
+		logger.Info("cluster coordinator mode", "peers", len(peerList))
+	}
+
 	svc := inca.NewService(inca.ServiceOptions{
 		MaxInflight:    *inflight,
 		QueueDepth:     *queue,
@@ -156,11 +212,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:   *drain,
 		ReadinessGrace: *readinessGrace,
 		MaxBodyBytes:   *maxBody,
+		Cache:          cache,
 		Store:          st,
 		Logger:         logger,
 		Inject:         inj,
 		Tracer:         tracer,
 		EnablePprof:    *pprofOn,
+		Coalesce: serve.CoalesceOptions{
+			Enabled: *coalesceOn,
+			MaxWait: *coalesceWait,
+		},
+		Sharder:         sharder,
+		ShardID:         *shardID,
+		RetryJitterSeed: *retryJitterSeed,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -177,4 +241,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "inca-serve drained, bye")
 	return 0
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// warmStart pulls the full result corpus from a peer and merges it into
+// the local store.
+func warmStart(ctx context.Context, st *inca.ResultStore, from string, logger interface {
+	Info(msg string, args ...any)
+}) error {
+	c, err := client.New(from, client.Options{})
+	if err != nil {
+		return err
+	}
+	pctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	corpus, err := c.StoreExport(pctx)
+	if err != nil {
+		return err
+	}
+	res, err := st.Import(bytes.NewReader(corpus), 0)
+	if err != nil {
+		return err
+	}
+	logger.Info("warm start complete", "from", from,
+		"added", res.Added, "skipped", res.Skipped, "rejected", res.Rejected)
+	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/serve"
 	"github.com/inca-arch/inca/internal/sim"
 )
@@ -145,6 +146,50 @@ func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (*serve.Swee
 	return &resp, nil
 }
 
+// ShardSweep evaluates an explicit cell list on the service — the
+// dispatch half of the cluster's scatter/gather. It rides the same
+// retry loop as every wrapper; when the attempts run out the returned
+// ErrAttemptsExhausted still wraps the last failure, so the
+// coordinator's fault.IsTransient check classifies a dead shard as
+// transient and rehashes its cells onto survivors.
+func (c *Client) ShardSweep(ctx context.Context, req serve.ShardSweepRequest) (*serve.ShardSweepResponse, error) {
+	var resp serve.ShardSweepResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/shard/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Ready probes the service's readiness endpoint with a single
+// unretried exchange: a health probe that retried would report the
+// cluster healthier than it is. It returns nil for 200 (ready or
+// degraded) and the classified error otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.once(ctx, http.MethodGet, "/healthz/ready", nil, nil)
+}
+
+// StoreImport streams an exported result corpus (JSON Lines) into the
+// service's persistent store — how a freshly booted cluster peer
+// warm-starts from a sibling's corpus. The import is idempotent
+// (records are keyed), so the retry loop is safe.
+func (c *Client) StoreImport(ctx context.Context, corpus []byte) error {
+	return c.callRaw(ctx, http.MethodPost, "/v1/store/import", corpus, nil)
+}
+
+// StoreExport fetches the service's full result corpus as JSON Lines —
+// the bytes StoreImport on a sibling accepts.
+func (c *Client) StoreExport(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	if err := c.callRaw(ctx, http.MethodGet, "/v1/store/export", nil, rawBody(&raw)); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// rawBody marks an out target that wants the response bytes verbatim
+// instead of a JSON decode.
+type rawBody *[]byte
+
 // Models lists the service's model zoo.
 func (c *Client) Models(ctx context.Context) ([]serve.ModelInfo, error) {
 	var infos []serve.ModelInfo
@@ -174,6 +219,13 @@ func (c *Client) call(ctx context.Context, method, path string, body, out any) e
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	return c.callRaw(ctx, method, path, payload, out)
+}
+
+// callRaw is call with a pre-encoded payload (nil for bodyless
+// requests) — the entry point for bodies that are not a single JSON
+// value, like the store's JSON Lines corpus.
+func (c *Client) callRaw(ctx context.Context, method, path string, payload []byte, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -220,6 +272,13 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Distributed tracing: when the caller runs under a span, the W3C
+	// traceparent header rides along, so a tracing server's request span
+	// joins the caller's trace — a cluster coordinator's dispatches to
+	// its shards show up as children of the coordinating request.
+	if tp := obs.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -248,6 +307,10 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		}
 	}
 	if out == nil {
+		return nil
+	}
+	if rb, ok := out.(rawBody); ok {
+		*rb = raw
 		return nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {

@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/inca-arch/inca/internal/client"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/serve"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/sweep"
+)
+
+// e2ePlan is the cluster tests' sweep: 2 archs x 2 models x 2 phases =
+// 8 cells, enough to spread across 3 shards.
+func e2ePlan() sweep.Plan {
+	return sweep.Plan{
+		Archs:    []sweep.Arch{sweep.INCAArch(), sweep.BaselineArch()},
+		Networks: []*nn.Network{nn.LeNet5(), nn.VGG16CIFAR()},
+		Phases:   []sim.Phase{sim.Inference, sim.Training},
+	}
+}
+
+const e2eBody = `{"archs":["inca","baseline"],"models":["LeNet5","VGG16-CIFAR"],"phases":["inference","training"]}`
+
+// killer wraps a shard's handler as a crashable process: once armed,
+// the first shard dispatch it receives flips it dead and from then on
+// it aborts every connection — the TCP-level behavior of a process that
+// died mid-request.
+type killer struct {
+	inner http.Handler
+	mu    sync.Mutex
+	armed bool
+	dead  bool
+}
+
+func (k *killer) arm() {
+	k.mu.Lock()
+	k.armed = true
+	k.mu.Unlock()
+}
+
+func (k *killer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	k.mu.Lock()
+	if k.armed && r.Method == http.MethodPost && r.URL.Path == "/v1/shard/sweep" {
+		k.dead = true
+	}
+	dead := k.dead
+	k.mu.Unlock()
+	if dead {
+		panic(http.ErrAbortHandler)
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+// newShard boots one in-process inca-serve node.
+func newShard(t *testing.T, id string, tracer *obs.Tracer) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(serve.Options{ShardID: id, Tracer: tracer})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// fastClient is the dispatch client tuning for tests: fail a dead peer
+// in milliseconds instead of seconds.
+func fastClient() client.Options {
+	return client.Options{MaxAttempts: 2, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+}
+
+// pickVictim returns the index of a peer owning at least one of the
+// plan's cells on the given ring — killing it must actually lose work.
+func pickVictim(t *testing.T, urls []string, cells []sweep.Cell) int {
+	t.Helper()
+	ring, err := NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := sweep.Partition(cells, func(k sweep.Key) string { return ring.Owner(k.String()) })
+	for i, u := range urls {
+		if n := len(parts[u]); n > 0 && n < len(cells) {
+			return i // owns some cells but not all: the rehash has survivors with prior work
+		}
+	}
+	for i, u := range urls {
+		if len(parts[u]) > 0 {
+			return i
+		}
+	}
+	t.Fatal("no peer owns any cells")
+	return -1
+}
+
+// TestE2EShardLossByteIdentity is the acceptance e2e: a 3-shard sweep
+// through a coordinator, with one shard killed by its first dispatch,
+// completes with summary cells byte-identical to a single-node run; the
+// lost shard's cells are visibly rehashed and retried; and the
+// coordinator's trace spans every shard — the surviving shards' own
+// request spans join the same trace ID via the forwarded traceparent.
+func TestE2EShardLossByteIdentity(t *testing.T) {
+	// Reference: the same sweep on a plain single-node server.
+	_, refTS := newShard(t, "", nil)
+	refResp, err := http.Post(refTS.URL+"/v1/sweep", "application/json", strings.NewReader(e2eBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw := readBody(t, refResp)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("reference sweep failed: %s", refRaw)
+	}
+
+	// Cluster: 3 shards, each tracing into its own ring.
+	shardTracers := make([]*obs.Tracer, 3)
+	shardServers := make([]*httptest.Server, 3)
+	urls := make([]string, 3)
+	killers := make([]*killer, 3)
+	for i := range shardServers {
+		shardTracers[i] = obs.NewTracer(obs.WithRing(512))
+		s := serve.New(serve.Options{ShardID: shardName(i), Tracer: shardTracers[i]})
+		killers[i] = &killer{inner: s.Handler()}
+		shardServers[i] = httptest.NewServer(killers[i])
+		t.Cleanup(shardServers[i].Close)
+		urls[i] = shardServers[i].URL
+	}
+
+	cells, err := e2ePlan().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(t, urls, cells)
+	killers[victim].arm()
+
+	co, err := New(Options{Peers: urls, Client: fastClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTracer := obs.NewTracer(obs.WithRing(1024))
+	coord := serve.New(serve.Options{Sharder: co, ShardID: "coord", Tracer: coordTracer})
+	coordTS := httptest.NewServer(coord.Handler())
+	t.Cleanup(coordTS.Close)
+
+	resp, err := http.Post(coordTS.URL+"/v1/sweep", "application/json", strings.NewReader(e2eBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep failed: %s", raw)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("coordinator response carries no trace ID")
+	}
+
+	// Byte identity: the cells array must match the single-node run
+	// exactly, shard loss and all.
+	var ref, got struct {
+		Cells json.RawMessage `json:"cells"`
+		Shard *serve.ShardSummary
+	}
+	if err := json.Unmarshal(refRaw, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Cells) != string(ref.Cells) {
+		t.Fatalf("cluster cells differ from single-node run:\n%s\nvs\n%s", got.Cells, ref.Cells)
+	}
+
+	// The loss is visible: cells rehashed in a second round, the victim
+	// down, and the rehashed cells counted as retried (their lost
+	// dispatch rides in Result.Attempts).
+	if got.Shard == nil {
+		t.Fatal("cluster response carries no shard summary")
+	}
+	if got.Shard.Rehashed == 0 || got.Shard.Rounds < 2 || got.Shard.Down == 0 {
+		t.Fatalf("shard loss not visible in summary: %+v", got.Shard)
+	}
+	if got.Shard.Retried < got.Shard.Rehashed {
+		t.Fatalf("rehashed cells not counted retried: %+v", got.Shard)
+	}
+
+	// One coordinator trace spans the cluster: the ring holds dispatch
+	// spans for more than one peer, and a surviving shard's own request
+	// span carries the same trace ID.
+	spans := coordTracer.Ring().Trace(traceID)
+	dispatchPeers := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Name == SpanDispatch {
+			if v, ok := sp.Attr("peer"); ok {
+				dispatchPeers[fmt.Sprint(v)] = true
+			}
+		}
+	}
+	if len(dispatchPeers) < 2 {
+		t.Fatalf("coordinator trace shows dispatches to %d peers, want >= 2", len(dispatchPeers))
+	}
+	joined := 0
+	for i, tr := range shardTracers {
+		if i == victim {
+			continue
+		}
+		if len(tr.Ring().Trace(traceID)) > 0 {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no surviving shard's spans joined the coordinator's trace")
+	}
+}
+
+// TestCoordinatorRehashAttempts drives the coordinator directly at the
+// Go level and asserts the per-cell contract the HTTP summary
+// aggregates: every cell the dead shard lost comes back with
+// Result.Attempts >= 2 (the lost dispatch counts), everything else with
+// Attempts == 1, and results land in input order.
+func TestCoordinatorRehashAttempts(t *testing.T) {
+	shardServers := make([]*httptest.Server, 3)
+	urls := make([]string, 3)
+	killers := make([]*killer, 3)
+	for i := range shardServers {
+		s := serve.New(serve.Options{ShardID: shardName(i)})
+		killers[i] = &killer{inner: s.Handler()}
+		shardServers[i] = httptest.NewServer(killers[i])
+		t.Cleanup(shardServers[i].Close)
+		urls[i] = shardServers[i].URL
+	}
+	cells, err := e2ePlan().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(t, urls, cells)
+	killers[victim].arm()
+	ring, err := NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := map[int]bool{}
+	for _, c := range cells {
+		if ring.Owner(c.Key().String()) == urls[victim] {
+			lost[c.Seq] = true
+		}
+	}
+
+	co, err := New(Options{Peers: urls, Client: fastClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, summary, err := co.Sweep(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("results = %d, want %d", len(results), len(cells))
+	}
+	for i, res := range results {
+		if res.Cell.Seq != cells[i].Seq {
+			t.Fatalf("result %d answers seq %d, want %d", i, res.Cell.Seq, cells[i].Seq)
+		}
+		if res.Err != nil {
+			t.Fatalf("cell %d failed: %v", i, res.Err)
+		}
+		if lost[res.Cell.Seq] {
+			if res.Attempts < 2 {
+				t.Fatalf("rehashed cell %d has Attempts = %d, want >= 2", i, res.Attempts)
+			}
+		} else if res.Attempts != 1 {
+			t.Fatalf("undisturbed cell %d has Attempts = %d, want 1", i, res.Attempts)
+		}
+	}
+	if summary.Rehashed != len(lost) {
+		t.Fatalf("summary.Rehashed = %d, want %d", summary.Rehashed, len(lost))
+	}
+	if summary.Down != 1 || summary.Rounds != 2 {
+		t.Fatalf("summary = %+v, want Down 1, Rounds 2", summary)
+	}
+}
+
+// TestCoordinatorAllPeersLostFallsBackLocal pins the last resort: with
+// every peer dead the coordinator evaluates the cells on its own engine
+// and the sweep still completes.
+func TestCoordinatorAllPeersLostFallsBackLocal(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(dead.Close)
+
+	co, err := New(Options{Peers: []string{dead.URL}, Client: fastClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := e2ePlan().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, summary, err := co.Sweep(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Local != len(cells) || summary.Down != 1 {
+		t.Fatalf("summary = %+v, want all %d cells local, 1 down", summary, len(cells))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("cell %d failed locally: %v", i, res.Err)
+		}
+	}
+}
+
+// TestCoordinatorTerminalErrorAborts pins the fault vocabulary: a 4xx
+// from a shard is the request's fault, not the shard's — the sweep
+// fails instead of rehashing a poisoned cell around the ring forever.
+func TestCoordinatorTerminalErrorAborts(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no"}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(bad.Close)
+
+	co, err := New(Options{Peers: []string{bad.URL}, Client: fastClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := e2ePlan().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := co.Sweep(context.Background(), cells); err == nil {
+		t.Fatal("terminal shard answer did not abort the sweep")
+	}
+}
+
+// TestHealthProbesReviveDownPeers pins membership recovery: a peer
+// marked down by a lost dispatch rejoins the ring after a readiness
+// probe finds it serving again.
+func TestHealthProbesReviveDownPeers(t *testing.T) {
+	s := serve.New(serve.Options{ShardID: "s0"})
+	k := &killer{inner: s.Handler()}
+	ts := httptest.NewServer(k)
+	t.Cleanup(ts.Close)
+
+	co, err := New(Options{Peers: []string{ts.URL}, Client: fastClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.members.markDown(ts.URL, context.DeadlineExceeded)
+	if got := co.Health(context.Background()); !got[0].Up {
+		t.Fatalf("live peer still reported down: %+v", got[0])
+	}
+
+	k.mu.Lock()
+	k.dead = true
+	k.mu.Unlock()
+	if got := co.Health(context.Background()); got[0].Up {
+		t.Fatalf("dead peer reported up: %+v", got[0])
+	}
+}
+
+func shardName(i int) string { return string(rune('a'+i)) + "-shard" }
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return []byte(sb.String())
+}

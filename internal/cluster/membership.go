@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// membership tracks which peers the coordinator currently believes are
+// serving. A peer is marked down when a dispatch to it exhausts the
+// client's retries with a transient error; readiness probes (Health)
+// revive it — a down mark is a routing hint, not a tombstone, so a
+// rebooted shard rejoins the ring at the next probe without restarting
+// the coordinator.
+type membership struct {
+	mu    sync.Mutex
+	peers []string
+	down  map[string]string // peer -> last error, absent when up
+}
+
+func newMembership(peers []string) *membership {
+	ps := make([]string, len(peers))
+	copy(ps, peers)
+	sort.Strings(ps)
+	return &membership{peers: ps, down: make(map[string]string)}
+}
+
+// markDown records peer as unserving with its failure.
+func (m *membership) markDown(peer string, err error) {
+	m.mu.Lock()
+	m.down[peer] = err.Error()
+	m.mu.Unlock()
+}
+
+// markUp clears a peer's down mark.
+func (m *membership) markUp(peer string) {
+	m.mu.Lock()
+	delete(m.down, peer)
+	m.mu.Unlock()
+}
+
+// live returns the peers not currently marked down, sorted.
+func (m *membership) live() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for _, p := range m.peers {
+		if _, bad := m.down[p]; !bad {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// downCount reports how many peers are marked down.
+func (m *membership) downCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.down)
+}
+
+// snapshot returns every peer with its current state, sorted by peer.
+func (m *membership) snapshot() []peerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]peerState, 0, len(m.peers))
+	for _, p := range m.peers {
+		st := peerState{Peer: p, Up: true}
+		if msg, bad := m.down[p]; bad {
+			st.Up, st.Error = false, msg
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+type peerState struct {
+	Peer  string
+	Up    bool
+	Error string
+}

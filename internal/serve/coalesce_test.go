@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalesceLoadUnderRace is the acceptance load test: 32 concurrent
+// identical sweep requests against a coalescing server produce exactly
+// one engine execution (one cache miss) and at least 31 coalesced hits,
+// visible in /metrics. Every caller still receives a complete,
+// decodable response.
+func TestCoalesceLoadUnderRace(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		MaxInflight: 4,
+		// A wide window: the whole herd must land inside one flight no
+		// matter how the scheduler staggers it.
+		Coalesce: CoalesceOptions{Enabled: true, MaxWait: 30 * time.Second},
+	})
+
+	const n = 32
+	body := `{"archs":["inca","baseline"],"models":["LeNet5"],"phases":["inference","training"]}`
+	var wg sync.WaitGroup
+	bodies := make(chan []byte, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			raw := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				errs <- &APIErrorLike{Status: resp.StatusCode, Body: string(raw)}
+				return
+			}
+			bodies <- raw
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(bodies)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var first []byte
+	count := 0
+	for b := range bodies {
+		count++
+		var resp SweepResponse
+		if err := json.Unmarshal(b, &resp); err != nil {
+			t.Fatalf("undecodable response: %v", err)
+		}
+		if len(resp.Cells) != 4 {
+			t.Fatalf("response has %d cells, want 4", len(resp.Cells))
+		}
+		if first == nil {
+			first = b
+		} else if string(first) != string(b) {
+			t.Fatalf("coalesced responses differ:\n%s\nvs\n%s", first, b)
+		}
+	}
+	if count != n {
+		t.Fatalf("collected %d responses, want %d", count, n)
+	}
+
+	// Exactly one engine execution: the leader's run took the only cache
+	// misses; the herd was answered before admission.
+	stats := s.Cache().Stats()
+	if stats.Misses != 4 {
+		t.Fatalf("cache misses = %d, want 4 (one engine execution of a 4-cell plan)", stats.Misses)
+	}
+	if stats.Hits != 0 {
+		t.Fatalf("cache hits = %d, want 0 (joiners must not reach the cache)", stats.Hits)
+	}
+	if stats.CoalescedHits < n-1 {
+		t.Fatalf("coalesced hits = %d, want >= %d", stats.CoalescedHits, n-1)
+	}
+
+	// The counters surface on /metrics, both JSON and Prometheus.
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(readAll(t, resp))
+	if !strings.Contains(prom, "inca_serve_coalesced_total 31") {
+		t.Fatalf("prometheus metrics lack inca_serve_coalesced_total 31:\n%s", grepLines(prom, "coalesced"))
+	}
+	if !strings.Contains(prom, "inca_cache_coalesced_hits_total 31") {
+		t.Fatalf("prometheus metrics lack inca_cache_coalesced_hits_total 31:\n%s", grepLines(prom, "coalesced"))
+	}
+}
+
+// APIErrorLike carries a non-2xx load-test response into the main
+// goroutine with its body attached.
+type APIErrorLike struct {
+	Status int
+	Body   string
+}
+
+func (e *APIErrorLike) Error() string { return e.Body }
+
+// grepLines filters output to lines containing needle, for terse test
+// failures.
+func grepLines(s, needle string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, needle) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestCoalesceKeysDistinguishRequests pins the key derivation: a
+// different body, a different route, or a different negotiated format
+// must never replay another request's response.
+func TestCoalesceKeysDistinguishRequests(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Coalesce: CoalesceOptions{Enabled: true, MaxWait: 30 * time.Second},
+	})
+
+	jsonResp := post(t, ts.URL+"/v1/simulate", `{"arch":"inca","model":"LeNet5","phase":"inference"}`, nil)
+	jsonBody := readAll(t, jsonResp)
+	if jsonResp.StatusCode != http.StatusOK {
+		t.Fatalf("json request failed: %s", jsonBody)
+	}
+
+	// Same cell, CSV negotiation: must execute separately and answer CSV.
+	csvResp := post(t, ts.URL+"/v1/simulate?format=csv", `{"arch":"inca","model":"LeNet5","phase":"inference"}`, nil)
+	csvBody := readAll(t, csvResp)
+	if csvResp.StatusCode != http.StatusOK {
+		t.Fatalf("csv request failed: %s", csvBody)
+	}
+	if ct := csvResp.Header.Get("Content-Type"); !strings.Contains(ct, "text/csv") {
+		t.Fatalf("csv request answered Content-Type %q (replayed the JSON flight?)", ct)
+	}
+
+	// A different cell: fresh execution, different report.
+	otherResp := post(t, ts.URL+"/v1/simulate", `{"arch":"baseline","model":"LeNet5","phase":"inference"}`, nil)
+	otherBody := readAll(t, otherResp)
+	if otherResp.StatusCode != http.StatusOK {
+		t.Fatalf("second request failed: %s", otherBody)
+	}
+	if string(otherBody) == string(jsonBody) {
+		t.Fatal("distinct requests returned identical bodies (coalesced across keys)")
+	}
+
+	// The CSV flight shares the JSON flight's simulation via the memo
+	// cache, so three executions were request-level, two cell-level.
+	if misses := s.Cache().Stats().Misses; misses != 2 {
+		t.Fatalf("cache misses = %d, want 2 (inca cell shared between JSON and CSV)", misses)
+	}
+}
+
+// TestCoalesceJoinersKeepOwnCorrelation asserts replayed responses keep
+// per-caller correlation: each caller's X-Request-Id survives the
+// replay instead of being overwritten by the leader's.
+func TestCoalesceJoinersKeepOwnCorrelation(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Coalesce: CoalesceOptions{Enabled: true, MaxWait: 30 * time.Second},
+	})
+	body := `{"arch":"inca","model":"LeNet5","phase":"inference"}`
+
+	lead := post(t, ts.URL+"/v1/simulate", body, http.Header{"X-Request-Id": []string{"caller-lead"}})
+	readAll(t, lead)
+	join := post(t, ts.URL+"/v1/simulate", body, http.Header{"X-Request-Id": []string{"caller-join"}})
+	readAll(t, join)
+	if got := join.Header.Get("X-Request-Id"); got != "caller-join" {
+		t.Fatalf("joiner's X-Request-Id = %q, want caller-join (leader's id leaked through the replay)", got)
+	}
+	if lead.Header.Get("Content-Type") != join.Header.Get("Content-Type") {
+		t.Fatal("replay dropped the recorded Content-Type")
+	}
+}
+
+// TestCoalesceDisabledByDefault pins the library default: without
+// opting in, every request executes (the pre-coalescing contract the
+// other serve tests rely on).
+func TestCoalesceDisabledByDefault(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	body := `{"arch":"inca","model":"LeNet5","phase":"inference"}`
+	readAll(t, post(t, ts.URL+"/v1/simulate", body, nil))
+	readAll(t, post(t, ts.URL+"/v1/simulate", body, nil))
+	if c := s.Cache().Stats().CoalescedHits; c != 0 {
+		t.Fatalf("coalesced hits = %d with the layer disabled", c)
+	}
+	st := s.Cache().Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1 (sequential repeats dedup in the cache, not the coalescer)", st.Hits, st.Misses)
+	}
+}

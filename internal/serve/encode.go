@@ -140,13 +140,15 @@ type CellResult struct {
 
 // SweepResponse is the /v1/sweep payload. Frontiers is present only for
 // tune requests: one Pareto frontier per model × phase, in request
-// order.
+// order. Shard is present only when the sweep ran scatter/gather across
+// a cluster; single-node bodies stay byte-identical.
 type SweepResponse struct {
 	Cells     []CellResult     `json:"cells"`
 	Cached    int              `json:"cached"`
 	Failed    int              `json:"failed"`
 	Cache     sweep.CacheStats `json:"cache"`
 	Frontiers []tune.Frontier  `json:"frontiers,omitempty"`
+	Shard     *ShardSummary    `json:"shard,omitempty"`
 }
 
 // ModelInfo is one /v1/models entry. Dataflows lists the registered
@@ -189,10 +191,30 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, errorBody{Error: err.Error(), TraceID: w.Header().Get(traceIDHeader)})
 }
 
+// retryAfterSeconds renders the configured Retry-After hint in whole
+// seconds. With RetryJitterSeed set, a seeded stream adds up to a
+// quarter of the base (at least one second), so a synchronized cohort
+// of rejected clients spreads its retries instead of re-stampeding the
+// admission gate in lockstep; with a zero seed the hint is exact.
+func (s *Server) retryAfterSeconds() int {
+	base := int(s.opt.RetryAfter.Seconds() + 0.5)
+	if s.jitter == nil {
+		return base
+	}
+	span := base / 4
+	if span < 1 {
+		span = 1
+	}
+	s.jitterMu.Lock()
+	j := s.jitter.Intn(span + 1)
+	s.jitterMu.Unlock()
+	return base + j
+}
+
 // writeUnavailable answers 503 with the Retry-After hint — the admission
 // path's contract: overload is explicit and immediately retriable.
 func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
-	w.Header().Set("Retry-After", strconv.Itoa(int(s.opt.RetryAfter.Seconds()+0.5)))
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	s.writeError(w, http.StatusServiceUnavailable, err)
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"github.com/inca-arch/inca/internal/dataflow"
@@ -109,25 +110,27 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.admitted(w, r, func(ctx context.Context) {
-		plan := sweep.Plan{Archs: []sweep.Arch{ax}, Networks: []*nn.Network{net}, Phases: []sim.Phase{phase}}
-		results, err := sweep.Run(ctx, plan, s.sweepOptions(1))
-		if err == nil && results[0].Err != nil {
-			err = results[0].Err
-		}
-		if err != nil {
-			s.writeError(w, statusForRunErr(err), err)
-			return
-		}
-		rep := results[0].Report
-		if wantsCSV(r) {
-			w.Header().Set("Content-Type", "text/csv")
-			if err := rep.WriteCSV(w); err != nil {
-				s.log.Error("writing csv", "err", err)
+	s.coalesced(w, r, req, func(w http.ResponseWriter, r *http.Request) {
+		s.admitted(w, r, func(ctx context.Context) {
+			plan := sweep.Plan{Archs: []sweep.Arch{ax}, Networks: []*nn.Network{net}, Phases: []sim.Phase{phase}}
+			results, err := sweep.Run(ctx, plan, s.sweepOptions(1))
+			if err == nil && results[0].Err != nil {
+				err = results[0].Err
 			}
-			return
-		}
-		s.writeJSON(w, http.StatusOK, rep)
+			if err != nil {
+				s.writeError(w, statusForRunErr(err), err)
+				return
+			}
+			rep := results[0].Report
+			if wantsCSV(r) {
+				w.Header().Set("Content-Type", "text/csv")
+				if err := rep.WriteCSV(w); err != nil {
+					s.log.Error("writing csv", "err", err)
+				}
+				return
+			}
+			s.writeJSON(w, http.StatusOK, rep)
+		})
 	})
 }
 
@@ -192,48 +195,78 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.admitted(w, r, func(ctx context.Context) {
-		results, err := sweep.Run(ctx, plan, s.sweepOptions(s.requestWorkers()))
-		if err != nil {
-			s.writeError(w, statusForRunErr(err), err)
-			return
-		}
-		resp := SweepResponse{Cells: make([]CellResult, 0, len(results)), Cache: s.cache.Stats()}
-		for _, res := range results {
-			cell := CellResult{
-				Arch:     res.Cell.Arch.Name,
-				Override: res.Cell.Override,
-				Network:  res.Cell.Network.Name,
-				Phase:    res.Cell.Phase.String(),
-				Cached:   res.Cached,
-			}
-			if newStyle {
-				cell.Dataflow = res.Cell.Dataflow()
-			}
-			if res.Cached {
-				resp.Cached++
-			}
-			if res.Err != nil {
-				cell.Error = res.Err.Error()
-				resp.Failed++
-			} else {
-				rep := res.Report
-				cell.EnergyJ = rep.Total.Energy.Total()
-				cell.LatencyS = rep.Total.Latency
-				if perImage, err := rep.EnergyPerImage(); err == nil {
-					cell.EnergyPerImageJ = perImage
+	s.coalesced(w, r, req, func(w http.ResponseWriter, r *http.Request) {
+		s.admitted(w, r, func(ctx context.Context) {
+			var results []sweep.Result
+			var shard *ShardSummary
+			var err error
+			if s.opt.Sharder != nil {
+				// Cluster mode: scatter the expanded cells across peers and
+				// gather their partials. The summary rows below are built
+				// from the same full reports a local run produces, so the
+				// response body's cells are byte-identical either way.
+				cells, cellsErr := plan.Cells()
+				if cellsErr != nil {
+					s.writeError(w, http.StatusBadRequest, cellsErr)
+					return
 				}
-				cell.ThroughputIPS = rep.Throughput()
-				cell.Utilization = rep.Utilization()
+				var summary ShardSummary
+				results, summary, err = s.opt.Sharder.Sweep(ctx, cells)
+				shard = &summary
+			} else {
+				results, err = sweep.Run(ctx, plan, s.sweepOptions(s.requestWorkers()))
 			}
-			resp.Cells = append(resp.Cells, cell)
-		}
-		if wantsCSV(r) {
-			s.writeSweepCSV(w, resp)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, resp)
+			if err != nil {
+				s.writeError(w, statusForRunErr(err), err)
+				return
+			}
+			resp := s.sweepSummary(results, newStyle)
+			resp.Shard = shard
+			if wantsCSV(r) {
+				s.writeSweepCSV(w, resp)
+				return
+			}
+			s.writeJSON(w, http.StatusOK, resp)
+		})
 	})
+}
+
+// sweepSummary folds engine results into the /v1/sweep response body:
+// one summary row per cell, in the order given. It is shared by the
+// local and scatter/gather paths of handleSweep — both feed it full
+// reports, which is the heart of the cluster's byte-identity guarantee.
+func (s *Server) sweepSummary(results []sweep.Result, newStyle bool) SweepResponse {
+	resp := SweepResponse{Cells: make([]CellResult, 0, len(results)), Cache: s.cache.Stats()}
+	for _, res := range results {
+		cell := CellResult{
+			Arch:     res.Cell.Arch.Name,
+			Override: res.Cell.Override,
+			Network:  res.Cell.Network.Name,
+			Phase:    res.Cell.Phase.String(),
+			Cached:   res.Cached,
+		}
+		if newStyle {
+			cell.Dataflow = res.Cell.Dataflow()
+		}
+		if res.Cached {
+			resp.Cached++
+		}
+		if res.Err != nil {
+			cell.Error = res.Err.Error()
+			resp.Failed++
+		} else {
+			rep := res.Report
+			cell.EnergyJ = rep.Total.Energy.Total()
+			cell.LatencyS = rep.Total.Latency
+			if perImage, err := rep.EnergyPerImage(); err == nil {
+				cell.EnergyPerImageJ = perImage
+			}
+			cell.ThroughputIPS = rep.Throughput()
+			cell.Utilization = rep.Utilization()
+		}
+		resp.Cells = append(resp.Cells, cell)
+	}
+	return resp
 }
 
 // handleTuneSweep runs the mapping auto-tuner for a /v1/sweep request
@@ -382,16 +415,52 @@ func (s *Server) handleLiveness(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// readinessResponse is the /healthz/ready body in shard mode: overall
+// status plus every peer's probe outcome. Outside shard mode the probe
+// keeps its plain-text "ok" contract.
+type readinessResponse struct {
+	Status  string       `json:"status"`
+	ShardID string       `json:"shard_id,omitempty"`
+	Peers   []PeerHealth `json:"peers"`
+}
+
 // handleReadiness is the readiness probe (/healthz/ready): 200 while the
 // server accepts traffic, 503 + Retry-After once a graceful drain has
 // begun, so load balancers stop routing before connections are refused.
-func (s *Server) handleReadiness(w http.ResponseWriter, _ *http.Request) {
+// A coordinator (Options.Sharder set) reports per-peer health instead:
+// it stays ready — "degraded" — while a minority of peers is down,
+// because the ring rehashes lost cells onto survivors, and turns 503
+// only when a majority is lost and a sweep could overwhelm the rest.
+func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		s.writeUnavailable(w, errors.New("draining: server is shutting down"))
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	sh := s.opt.Sharder
+	if sh == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+		return
+	}
+	peers := sh.Health(r.Context())
+	down := 0
+	for _, p := range peers {
+		if !p.Up {
+			down++
+		}
+	}
+	resp := readinessResponse{Status: "ready", ShardID: s.opt.ShardID, Peers: peers}
+	switch {
+	case down == 0:
+	case down*2 < len(peers):
+		resp.Status = "degraded"
+	default:
+		resp.Status = "unavailable"
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics exports the counter snapshot: JSON by default, the

@@ -34,10 +34,11 @@ func DefaultLatencyBuckets() []float64 {
 type Metrics struct {
 	start time.Time
 
-	requests atomic.Int64 // HTTP requests received
-	rejected atomic.Int64 // 503s from admission (saturated or abandoned)
-	inflight atomic.Int64 // requests holding an execution slot
-	queued   atomic.Int64 // requests waiting for a slot
+	requests  atomic.Int64 // HTTP requests received
+	rejected  atomic.Int64 // 503s from admission (saturated or abandoned)
+	inflight  atomic.Int64 // requests holding an execution slot
+	queued    atomic.Int64 // requests waiting for a slot
+	coalesced atomic.Int64 // requests served from another caller's flight
 
 	status2xx atomic.Int64
 	status4xx atomic.Int64
@@ -127,13 +128,17 @@ func readRuntimeStats() RuntimeStats {
 
 // Snapshot is the /metrics payload.
 type Snapshot struct {
-	UptimeS     float64 `json:"uptime_s"`
-	Requests    int64   `json:"requests_total"`
-	Rejected    int64   `json:"rejected_total"`
-	Inflight    int64   `json:"inflight"`
-	Queued      int64   `json:"queued"`
-	MaxInflight int     `json:"max_inflight"`
-	QueueDepth  int     `json:"queue_depth"`
+	UptimeS  float64 `json:"uptime_s"`
+	Requests int64   `json:"requests_total"`
+	Rejected int64   `json:"rejected_total"`
+	Inflight int64   `json:"inflight"`
+	Queued   int64   `json:"queued"`
+	// Coalesced counts whole requests answered from another caller's
+	// in-flight execution by the coalescing layer; zero when the layer
+	// is disabled.
+	Coalesced   int64 `json:"coalesced_total"`
+	MaxInflight int   `json:"max_inflight"`
+	QueueDepth  int   `json:"queue_depth"`
 	Status2xx   int64   `json:"responses_2xx"`
 	Status4xx   int64   `json:"responses_4xx"`
 	Status5xx   int64   `json:"responses_5xx"`
@@ -175,6 +180,7 @@ func (s *Server) snapshot() Snapshot {
 		Rejected:       m.rejected.Load(),
 		Inflight:       m.inflight.Load(),
 		Queued:         m.queued.Load(),
+		Coalesced:      m.coalesced.Load(),
 		MaxInflight:    s.opt.MaxInflight,
 		QueueDepth:     s.opt.QueueDepth,
 		Status2xx:      m.status2xx.Load(),
@@ -225,6 +231,7 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 	scalar("inca_http_rejected_total", "counter", "Requests rejected by admission (saturated or abandoned).", snap.Rejected)
 	scalar("inca_http_inflight", "gauge", "Requests holding an execution slot.", snap.Inflight)
 	scalar("inca_http_queued", "gauge", "Requests waiting for an execution slot.", snap.Queued)
+	scalar("inca_serve_coalesced_total", "counter", "Requests answered from another caller's in-flight execution.", snap.Coalesced)
 	p("# HELP inca_http_responses_total Completed responses by status class.\n# TYPE inca_http_responses_total counter\n")
 	p("inca_http_responses_total{class=\"2xx\"} %d\n", snap.Status2xx)
 	p("inca_http_responses_total{class=\"4xx\"} %d\n", snap.Status4xx)
@@ -245,6 +252,7 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 		scalar(prefix+"_misses_total", "counter", "Cache misses.", st.Misses)
 		scalar(prefix+"_disk_hits_total", "counter", "Misses served by the persistent store instead of simulating.", st.DiskHits)
 		scalar(prefix+"_expired_total", "counter", "Waiters whose context ended mid-flight.", st.Expired)
+		scalar(prefix+"_coalesced_hits_total", "counter", "Whole requests served by the coalescing layer.", st.CoalescedHits)
 		scalar(prefix+"_entries", "gauge", "Stored results.", st.Entries)
 	}
 	cacheFam("inca_cache", snap.Cache)

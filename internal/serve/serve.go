@@ -26,10 +26,12 @@ import (
 	"errors"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -112,6 +114,23 @@ type Options struct {
 	// request's sweep run, so transient faults (opt.Inject chaos, flaky
 	// cells) retry server-side instead of failing the request.
 	SweepRetry sweep.RetryPolicy
+	// Coalesce configures request-level coalescing of identical
+	// /v1/simulate and /v1/sweep requests. Off by default (see
+	// CoalesceOptions); cmd/inca-serve enables it with -coalesce.
+	Coalesce CoalesceOptions
+	// Sharder, when non-nil, switches /v1/sweep to cluster scatter/
+	// gather: expanded cells are handed to the sharder (the
+	// internal/cluster coordinator in cmd/inca-serve) instead of the
+	// local engine, and /healthz/ready reports per-peer health.
+	Sharder Sharder
+	// ShardID names this node in shard responses and readiness bodies;
+	// empty outside cluster deployments.
+	ShardID string
+	// RetryJitterSeed, when non-zero, arms deterministic jitter on the
+	// Retry-After hint of 503 responses (a seeded stream adding up to a
+	// quarter of the base hint), so synchronized clients spread their
+	// retries instead of re-stampeding. Zero keeps the exact hint.
+	RetryJitterSeed int64
 }
 
 // withDefaults resolves every unset option.
@@ -158,12 +177,17 @@ func (o Options) withDefaults() Options {
 // Server is the HTTP simulation service. Construct with New; the zero
 // value is not usable.
 type Server struct {
-	opt     Options
-	log     *slog.Logger
-	cache   *sweep.Cache
-	admit   *admission
-	metrics *Metrics
-	handler http.Handler
+	opt      Options
+	log      *slog.Logger
+	cache    *sweep.Cache
+	admit    *admission
+	metrics  *Metrics
+	handler  http.Handler
+	coalesce *coalescer // nil when coalescing is off
+	// jitterMu guards jitter, the seeded Retry-After jitter stream; both
+	// are nil/unused when RetryJitterSeed is zero.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 	// ready gates the readiness probe: true from construction until a
 	// graceful drain begins. Liveness is unconditional.
 	ready atomic.Bool
@@ -179,9 +203,16 @@ func New(opt Options) *Server {
 		admit:   newAdmission(opt.MaxInflight, opt.QueueDepth),
 		metrics: newMetrics(opt.LatencyBuckets),
 	}
+	if opt.Coalesce.Enabled {
+		s.coalesce = newCoalescer(opt.Coalesce)
+	}
+	if opt.RetryJitterSeed != 0 {
+		s.jitter = rand.New(rand.NewSource(opt.RetryJitterSeed))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/shard/sweep", s.handleShardSweep)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/inca-arch/inca/internal/arch"
+	"github.com/inca-arch/inca/internal/dataflow"
+	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/sim"
+	"github.com/inca-arch/inca/internal/sweep"
+)
+
+// ShardCell is one fully-resolved sweep cell on the wire: the shape a
+// cluster coordinator posts to a peer's /v1/shard/sweep. Unlike a
+// SweepRequest — a declarative cross product — a shard request names an
+// explicit, usually sparse, subset of a coordinating plan's cells, so
+// every axis value rides along resolved. Config is the cell's exact
+// arch.Config encoding; it round-trips through arch.ReadJSON with its
+// Fingerprint intact, which is what keeps a shard's cache keys (and
+// therefore its results) byte-identical to the coordinator evaluating
+// the same cell locally.
+type ShardCell struct {
+	// Seq is the cell's position in the coordinating plan; it is echoed
+	// back so the coordinator can merge partials into plan order.
+	Seq      int             `json:"seq"`
+	Arch     string          `json:"arch"`
+	Dataflow string          `json:"dataflow,omitempty"`
+	Fixed    bool            `json:"fixed,omitempty"`
+	Config   json.RawMessage `json:"config"`
+	Override string          `json:"override,omitempty"`
+	Model    string          `json:"model"`
+	Phase    string          `json:"phase"`
+}
+
+// ShardSweepRequest is the POST /v1/shard/sweep body.
+type ShardSweepRequest struct {
+	Cells []ShardCell `json:"cells"`
+}
+
+// ShardCellResult is one evaluated cell in a shard response: the full
+// report (its stable JSON encoding, byte-identical to a local run), or
+// an error string for cells whose evaluation failed.
+type ShardCellResult struct {
+	Seq      int             `json:"seq"`
+	Cached   bool            `json:"cached"`
+	Attempts int             `json:"attempts"`
+	Error    string          `json:"error,omitempty"`
+	Report   json.RawMessage `json:"report,omitempty"`
+}
+
+// ShardSweepResponse is the POST /v1/shard/sweep payload.
+type ShardSweepResponse struct {
+	ShardID string            `json:"shard_id,omitempty"`
+	Cells   []ShardCellResult `json:"cells"`
+	Cache   sweep.CacheStats  `json:"cache"`
+}
+
+// PeerHealth is one peer's probe outcome in a shard-mode readiness
+// response and in ShardSummary.
+type PeerHealth struct {
+	Peer    string `json:"peer"`
+	ShardID string `json:"shard_id,omitempty"`
+	Up      bool   `json:"up"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ShardSummary describes how a scatter/gather sweep was executed; it
+// rides on SweepResponse only in shard mode, so single-node response
+// bodies stay byte-identical.
+type ShardSummary struct {
+	// Peers is the cluster size the ring was built over; Down counts
+	// peers marked unhealthy during the sweep.
+	Peers int `json:"peers"`
+	Down  int `json:"down,omitempty"`
+	// Rounds counts dispatch waves: 1 for a clean scatter, +1 per
+	// rehash of lost cells onto survivors.
+	Rounds int `json:"rounds"`
+	// Rehashed counts cells re-dispatched after their owner was lost;
+	// Retried counts cells whose evaluation took more than one attempt
+	// (shard-side transient retries included).
+	Rehashed int `json:"rehashed,omitempty"`
+	Retried  int `json:"retried,omitempty"`
+	// Local counts cells the coordinator evaluated itself (its own ring
+	// share, plus last-resort cells when every peer is down).
+	Local int `json:"local,omitempty"`
+}
+
+// Sharder is the seam the cluster coordinator plugs into the server
+// through Options: handleSweep hands it the expanded cell list and gets
+// back one result per cell in input order. Implementations live outside
+// this package (internal/cluster) so serve never imports the HTTP
+// client it is itself the server for.
+type Sharder interface {
+	// Sweep evaluates cells across the cluster, returning results in
+	// input order (results[i] answers cells[i]).
+	Sweep(ctx context.Context, cells []sweep.Cell) ([]sweep.Result, ShardSummary, error)
+	// Health probes every peer, for readiness reporting.
+	Health(ctx context.Context) []PeerHealth
+}
+
+// WireCells lowers resolved sweep cells onto their wire form. It is the
+// inverse of cellsFromWire and is exported for the coordinator.
+func WireCells(cells []sweep.Cell) ([]ShardCell, error) {
+	out := make([]ShardCell, 0, len(cells))
+	for _, c := range cells {
+		var buf bytes.Buffer
+		if err := c.Config.WriteJSON(&buf); err != nil {
+			return nil, fmt.Errorf("encoding cell %d config: %w", c.Seq, err)
+		}
+		out = append(out, ShardCell{
+			Seq:      c.Seq,
+			Arch:     c.Arch.Name,
+			Dataflow: c.Arch.Dataflow,
+			Fixed:    c.Arch.Fixed,
+			Config:   json.RawMessage(bytes.TrimSpace(buf.Bytes())),
+			Override: c.Override,
+			Model:    c.Network.Name,
+			Phase:    c.Phase.String(),
+		})
+	}
+	return out, nil
+}
+
+// cellFromWire rebuilds one resolved sweep cell from its wire form. The
+// round trip preserves the cell's cache key: arch.ReadJSON restores the
+// exact Config (fingerprints use shortest-exact float encoding), and
+// name/dataflow/fixed ride the wire verbatim.
+func cellFromWire(wc ShardCell) (sweep.Cell, error) {
+	net, err := nn.ByName(wc.Model)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	phase, err := parsePhase(wc.Phase)
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	cfg, err := arch.ReadJSON(bytes.NewReader(wc.Config))
+	if err != nil {
+		return sweep.Cell{}, fmt.Errorf("cell %d config: %w", wc.Seq, err)
+	}
+	ax := sweep.Arch{Name: wc.Arch, Dataflow: wc.Dataflow, Base: cfg, Fixed: wc.Fixed}
+	if wc.Dataflow != "" {
+		d, err := dataflow.Get(wc.Dataflow)
+		if err != nil {
+			return sweep.Cell{}, fmt.Errorf("cell %d: %w", wc.Seq, err)
+		}
+		ax.Build = d.New
+	} else {
+		// Pre-registry axis: route by the config's own dataflow field,
+		// exactly like sweep.ConfigArch.
+		ax.Build = sweep.ConfigArch(cfg).Build
+	}
+	return sweep.Cell{
+		Seq:      wc.Seq,
+		Arch:     ax,
+		Override: wc.Override,
+		Config:   cfg,
+		Network:  net,
+		Phase:    phase,
+	}, nil
+}
+
+// handleShardSweep evaluates an explicit cell list for a cluster
+// coordinator: the gather half of scatter/gather. Cells run on the same
+// engine, cache, and retry policy as a local sweep — a shard is just an
+// inca-serve node — and each result carries the report's full stable
+// encoding so the coordinator's merged table is byte-identical to a
+// single-node run.
+func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
+	var req ShardSweepRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("shard sweep request names no cells"))
+		return
+	}
+	cells := make([]sweep.Cell, 0, len(req.Cells))
+	for _, wc := range req.Cells {
+		c, err := cellFromWire(wc)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cells = append(cells, c)
+	}
+	s.admitted(w, r, func(ctx context.Context) {
+		results, err := sweep.RunCells(ctx, cells, s.sweepOptions(s.requestWorkers()))
+		if err != nil {
+			s.writeError(w, statusForRunErr(err), err)
+			return
+		}
+		resp := ShardSweepResponse{
+			ShardID: s.opt.ShardID,
+			Cells:   make([]ShardCellResult, 0, len(results)),
+			Cache:   s.cache.Stats(),
+		}
+		for i, res := range results {
+			cr := ShardCellResult{Seq: req.Cells[i].Seq, Cached: res.Cached, Attempts: res.Attempts}
+			if res.Err != nil {
+				cr.Error = res.Err.Error()
+			} else {
+				rep, err := json.Marshal(res.Report)
+				if err != nil {
+					s.writeError(w, http.StatusInternalServerError, fmt.Errorf("encoding cell %d report: %w", cr.Seq, err))
+					return
+				}
+				cr.Report = rep
+			}
+			resp.Cells = append(resp.Cells, cr)
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+// shardResults lifts a shard response's cells back into engine results
+// for the given request cells (results[i] answers cells[i] of the
+// request that produced resp). Exported for the coordinator's merge
+// path.
+func ShardResults(cells []sweep.Cell, resp ShardSweepResponse) ([]sweep.Result, error) {
+	if len(resp.Cells) != len(cells) {
+		return nil, fmt.Errorf("shard returned %d results for %d cells", len(resp.Cells), len(cells))
+	}
+	out := make([]sweep.Result, 0, len(cells))
+	for i, cr := range resp.Cells {
+		if cr.Seq != cells[i].Seq {
+			return nil, fmt.Errorf("shard result %d answers seq %d, want %d", i, cr.Seq, cells[i].Seq)
+		}
+		res := sweep.Result{Cell: cells[i], Cached: cr.Cached, Attempts: cr.Attempts}
+		if cr.Error != "" {
+			res.Err = fmt.Errorf("%s", cr.Error)
+		} else {
+			var rep sim.Report
+			if err := json.Unmarshal(cr.Report, &rep); err != nil {
+				return nil, fmt.Errorf("decoding cell seq %d report: %w", cr.Seq, err)
+			}
+			res.Report = &rep
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

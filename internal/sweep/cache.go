@@ -55,10 +55,11 @@ type Cache struct {
 	entries map[Key]*cacheEntry
 	tier    Tier
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	diskHits atomic.Int64
-	expired  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	diskHits  atomic.Int64
+	expired   atomic.Int64
+	coalesced atomic.Int64
 }
 
 type cacheEntry struct {
@@ -179,7 +180,14 @@ type CacheStats struct {
 	Misses   int64 `json:"misses"`
 	DiskHits int64 `json:"disk_hits"`
 	Expired  int64 `json:"expired"`
-	Entries  int   `json:"entries"`
+	// CoalescedHits counts whole requests served from another caller's
+	// in-flight execution by the HTTP service's coalescing layer — the
+	// request-level analogue of Hits. The counter lives here, next to
+	// the per-cell dedup counters, so batching efficacy is observable
+	// alongside disk_hits in every stats surface; the cache itself never
+	// increments it (the coalescer calls AddCoalesced).
+	CoalescedHits int64 `json:"coalesced_hits"`
+	Entries       int   `json:"entries"`
 }
 
 // Stats snapshots the cache's counters. The counters are read
@@ -187,13 +195,22 @@ type CacheStats struct {
 // field is itself exact).
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:     c.Hits(),
-		Misses:   c.Misses(),
-		DiskHits: c.DiskHits(),
-		Expired:  c.Expired(),
-		Entries:  c.Len(),
+		Hits:          c.Hits(),
+		Misses:        c.Misses(),
+		DiskHits:      c.DiskHits(),
+		Expired:       c.Expired(),
+		CoalescedHits: c.CoalescedHits(),
+		Entries:       c.Len(),
 	}
 }
+
+// AddCoalesced records n requests served by the coalescing layer from
+// another caller's in-flight execution, without touching this cache.
+func (c *Cache) AddCoalesced(n int64) { c.coalesced.Add(n) }
+
+// CoalescedHits reports how many whole requests the coalescing layer
+// served from another caller's in-flight execution.
+func (c *Cache) CoalescedHits() int64 { return c.coalesced.Load() }
 
 // Hits reports how many Do calls received a result without running eval
 // or touching the second tier: stored results and coalesced flights.

@@ -121,6 +121,26 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return streamCells(ctx, cells, opt, func(_ int, r Result) Result { return r }), nil
+}
+
+// indexedResult pairs a Result with its position in the launched cell
+// slice, so callers that run explicit cell lists (RunCells) can restore
+// input order without relying on Cell.Seq — shard subsets carry sparse
+// Seq values from the coordinating plan.
+type indexedResult struct {
+	idx int
+	res Result
+}
+
+// streamCells is the engine core shared by Stream, Run, and RunCells:
+// it fans the given cells out on the worker pool and returns a channel
+// carrying one value per cell in completion order (mk shapes each
+// emission — workers send directly, with no intermediate hop). The
+// channel is buffered to the cell count, so abandoning the consumer
+// never wedges the pool and the kernel-budget handoff is always
+// restored.
+func streamCells[T any](ctx context.Context, cells []Cell, opt Options, mk func(int, Result) T) <-chan T {
 	cache := opt.Cache
 	if cache == nil {
 		cache = NewCache()
@@ -137,32 +157,36 @@ func Stream(ctx context.Context, p Plan, opt Options) (<-chan Result, error) {
 	// the worker pool — against this reference.
 	launch := obs.ContextTracer(ctx).Now()
 
-	feed := make(chan Cell)
+	type job struct {
+		idx  int
+		cell Cell
+	}
+	feed := make(chan job)
 	// Buffered to the cell count: sends below never block, which is what
 	// guarantees restoreKernels runs (and goroutines exit) even when the
 	// consumer walks away. One Result per cell is a few words; even a
 	// 100k-cell grid buffers only megabytes.
-	out := make(chan Result, len(cells))
+	out := make(chan T, len(cells))
 	var wg sync.WaitGroup
 	for i := 0; i < opt.workers(len(cells)); i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for cell := range feed {
-				out <- evaluate(ctx, cache, cell, opt, launch)
+			for j := range feed {
+				out <- mk(j.idx, evaluate(ctx, cache, j.cell, opt, launch))
 			}
 		}()
 	}
 	go func() {
-		for _, cell := range cells {
-			feed <- cell
+		for i, cell := range cells {
+			feed <- job{idx: i, cell: cell}
 		}
 		close(feed)
 		wg.Wait()
 		restoreKernels()
 		close(out)
 	}()
-	return out, nil
+	return out
 }
 
 // evaluate runs one cell through the cache, honoring cancellation at
@@ -282,6 +306,30 @@ func Run(ctx context.Context, p Plan, opt Options) ([]Result, error) {
 	ordered := make([]Result, len(results))
 	for _, r := range results {
 		ordered[r.Cell.Seq] = r
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		for _, r := range ordered {
+			if r.Err != nil && errors.Is(r.Err, ctxErr) {
+				return ordered, ctxErr
+			}
+		}
+	}
+	return ordered, nil
+}
+
+// RunCells executes an explicit cell list — not a plan cross product —
+// and returns one Result per cell in input order. It is the execution
+// primitive behind the cluster shard endpoint: a coordinator partitions
+// a plan's cells across peers by cache key, and each peer evaluates its
+// arbitrary subset here. Cell.Seq values are preserved untouched (they
+// index the coordinating plan, not this list), so ordering is by slice
+// position. Error semantics match Run: per-cell failures land in each
+// Result, and RunCells' own error is non-nil only for a context that
+// ended before every cell completed.
+func RunCells(ctx context.Context, cells []Cell, opt Options) ([]Result, error) {
+	ordered := make([]Result, len(cells))
+	for ir := range streamCells(ctx, cells, opt, func(i int, r Result) indexedResult { return indexedResult{i, r} }) {
+		ordered[ir.idx] = ir.res
 	}
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		for _, r := range ordered {

@@ -17,7 +17,9 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 $GO build -o "$tmp/inca-serve" ./cmd/inca-serve
-"$tmp/inca-serve" -addr 127.0.0.1:0 -quiet >"$tmp/out" 2>"$tmp/err" &
+# A wide coalescing window so the back-to-back repeat below reliably
+# joins the first request's flight even on a slow CI runner.
+"$tmp/inca-serve" -addr 127.0.0.1:0 -quiet -coalesce-wait 2s >"$tmp/out" 2>"$tmp/err" &
 pid=$!
 
 # Wait for the boot handshake: the resolved listen address on stdout.
@@ -40,9 +42,10 @@ done
 health=$(curl -fsS "$base/healthz")
 [ "$health" = "ok" ] || { echo "serve-smoke: healthz said '$health'" >&2; exit 1; }
 
-# One simulate cell, twice. The analytical model is deterministic and the
-# second evaluation is served from the memo cache: the bodies must be
-# byte-identical.
+# One simulate cell, twice back to back. The analytical model is
+# deterministic and the second request lands inside the coalescing
+# window (on by default): it replays the first flight's recording, so
+# the bodies must be byte-identical.
 body='{"arch":"inca","model":"LeNet5","phase":"inference"}'
 curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
     "$base/v1/simulate" >"$tmp/a"
@@ -55,9 +58,22 @@ grep -q '"arch":"INCA"' "$tmp/a" || {
     exit 1
 }
 
-# The repeat must have been a cache hit.
-curl -fsS "$base/metrics" | grep -q '"hits":1' || {
+# A third request after the coalescing window expires executes for real
+# and is served from the memo cache: still byte-identical.
+sleep 2.5
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
+    "$base/v1/simulate" >"$tmp/c"
+cmp -s "$tmp/a" "$tmp/c" || { echo "serve-smoke: cached response differs" >&2; exit 1; }
+
+# The repeats are visible in /metrics: the in-window one as a coalesced
+# hit, the post-window one as a cache hit.
+curl -fsS "$base/metrics" >"$tmp/metrics"
+grep -q '"hits":1' "$tmp/metrics" || {
     echo "serve-smoke: cache hit not recorded in /metrics" >&2
+    exit 1
+}
+grep -q '"coalesced_hits":1' "$tmp/metrics" || {
+    echo "serve-smoke: coalesced hit not recorded in /metrics" >&2
     exit 1
 }
 
