@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-pr8 bench-gate bench-sweep serve-smoke cluster-smoke chaos trace profile
+.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-gate bench-sweep serve-smoke cluster-smoke job-smoke chaos trace profile
 
 check: vet build race api-surface bench-gate
 
@@ -45,6 +45,11 @@ bench-pr7:
 # probe (a 32-request thundering herd, coalescer off vs on).
 bench-pr8:
 	$(GO) run ./cmd/inca-bench -o BENCH_PR8.json -pr 8
+
+# Durable-jobs era baseline: everything above plus the job-resume probe
+# (a 64-cell async job cold vs resumed against 32 checkpointed cells).
+bench-pr9:
+	$(GO) run ./cmd/inca-bench -o BENCH_PR9.json -pr 9
 
 # Deterministic perf-regression gate: compares the two newest committed
 # BENCH_PR*.json baselines and fails on a >10% slowdown in any kernel
@@ -90,3 +95,10 @@ serve-smoke:
 # exits for every surviving node.
 cluster-smoke:
 	GO=$(GO) sh scripts/cluster_smoke.sh
+
+# End-to-end crash-resume smoke of the durable job subsystem: run a job
+# clean for a reference body, rerun it on a journaled server and
+# SIGKILL mid-job, restart over the same directories, and require the
+# resumed result byte-identical with the resume visible in /metrics.
+job-smoke:
+	GO=$(GO) sh scripts/job_smoke.sh

@@ -4,8 +4,10 @@
 // baselines). The kernels are shaped like the ResNet-50 mid-network
 // layers that dominate the training experiments' wall clock, plus a
 // store warm-start probe timing disk-served replay against cold
-// recompute and a request-coalescing probe timing a thundering herd of
-// identical sweeps with the coalescer off versus on.
+// recompute, a request-coalescing probe timing a thundering herd of
+// identical sweeps with the coalescer off versus on, and a job-resume
+// probe timing a 64-cell async job from scratch versus resumed against
+// a store already holding half its cells.
 //
 // Usage:
 //
@@ -32,6 +34,8 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca/internal/cli"
+	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/serve"
 	"github.com/inca-arch/inca/internal/sim"
@@ -106,6 +110,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if res, err := benchCoalesce(*reps); err != nil {
 		fmt.Fprintln(stderr, "inca-bench: coalesce benchmark:", err)
+		return 1
+	} else {
+		b.Kernels = append(b.Kernels, res)
+	}
+	if res, err := benchJobResume(*reps); err != nil {
+		fmt.Fprintln(stderr, "inca-bench: job resume benchmark:", err)
 		return 1
 	} else {
 		b.Kernels = append(b.Kernels, res)
@@ -305,6 +315,155 @@ func benchCoalesce(reps int) (KernelResult, error) {
 		SerialNs:   off.Nanoseconds(),
 		ParallelNs: on.Nanoseconds(),
 		Speedup:    float64(off) / float64(on),
+	}, nil
+}
+
+// benchJobResume times the checkpoint dividend of the durable job
+// subsystem: a 64-cell job (2 archs × 2 models × 2 phases × 8 batch
+// overrides) submitted through POST /v1/jobs and polled to completion.
+// "Serial" runs it cold against an empty store; "parallel" runs it on a
+// fresh server whose store was pre-seeded with 32 of the 64 cells by an
+// earlier process — exactly what a crash-resumed job sees, where every
+// checkpointed cell is a disk hit instead of a re-simulation. A fixed
+// 2ms latency fault at every simulated cell stands in for expensive
+// cells (the analytic cells here simulate faster than a disk hit
+// decodes, which would drown the dividend in decode noise); disk hits
+// bypass the cell site, so the speedup is the wall clock recovered per
+// already-checkpointed cell.
+func benchJobResume(reps int) (KernelResult, error) {
+	const (
+		fullSpec = `{"archs":["inca","baseline"],"models":["LeNet5","VGG16-CIFAR"],"phases":["inference","training"],` +
+			`"overrides":[{"batch":1},{"batch":2},{"batch":4},{"batch":8},{"batch":16},{"batch":32},{"batch":64},{"batch":128}]}`
+		halfSpec = `{"archs":["inca","baseline"],"models":["LeNet5","VGG16-CIFAR"],"phases":["inference","training"],` +
+			`"overrides":[{"batch":1},{"batch":2},{"batch":4},{"batch":8}]}`
+		cellCost = 2 * time.Millisecond
+	)
+
+	// prefill simulates the half sweep into the store through its own
+	// server, then shuts it down — the timed run below starts with cold
+	// in-memory caches and can only recover the 32 cells from disk.
+	prefill := func(storeDir string) error {
+		st, err := store.Open(storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		s := serve.New(serve.Options{Store: st})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(halfSpec))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("prefill sweep answered %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	// runJob boots a fresh server over storeDir, submits the full job,
+	// and polls it to its terminal state.
+	runJob := func(storeDir string) (time.Duration, error) {
+		st, err := store.Open(storeDir, store.Options{})
+		if err != nil {
+			return 0, err
+		}
+		defer st.Close()
+		jobDir, err := os.MkdirTemp("", "inca-bench-job-jnl-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(jobDir)
+		jm, err := job.Open(jobDir, job.Options{Runners: 1})
+		if err != nil {
+			return 0, err
+		}
+		defer jm.Close()
+		inj := fault.New(1)
+		inj.Add(fault.Rule{Site: sweep.SpanCell + "/*", Kind: fault.KindLatency, Prob: 1, Delay: cellCost})
+		s := serve.New(serve.Options{Store: st, Jobs: jm, Inject: inj})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(fullSpec))
+		if err != nil {
+			return 0, err
+		}
+		var snap job.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("job submit answered %d", resp.StatusCode)
+		}
+		// The whole job finishes in milliseconds, so the poll interval
+		// must be well under it — a coarse poll would time its own
+		// quantization instead of the resume dividend.
+		for !snap.State.Terminal() {
+			time.Sleep(500 * time.Microsecond)
+			r, err := http.Get(ts.URL + "/v1/jobs/" + snap.ID)
+			if err != nil {
+				return 0, err
+			}
+			err = json.NewDecoder(r.Body).Decode(&snap)
+			r.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+		}
+		if snap.State != job.StateSucceeded {
+			return 0, fmt.Errorf("job finished %s: %s", snap.State, snap.Error)
+		}
+		return time.Since(start), nil
+	}
+
+	// timed runs the job against a fresh store dir, optionally seeded
+	// with the half sweep first, and keeps the fastest of reps runs.
+	timed := func(seed bool) (time.Duration, error) {
+		fastest := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			dir, err := os.MkdirTemp("", "inca-bench-job-store-*")
+			if err != nil {
+				return 0, err
+			}
+			if seed {
+				if err := prefill(dir); err != nil {
+					os.RemoveAll(dir)
+					return 0, err
+				}
+			}
+			d, err := runJob(dir)
+			os.RemoveAll(dir)
+			if err != nil {
+				return 0, err
+			}
+			if d < fastest {
+				fastest = d
+			}
+		}
+		return fastest, nil
+	}
+
+	cold, err := timed(false)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	resumed, err := timed(true)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	return KernelResult{
+		Name:       "JobResume-64cells-32ckpt",
+		SerialNs:   cold.Nanoseconds(),
+		ParallelNs: resumed.Nanoseconds(),
+		Speedup:    float64(cold) / float64(resumed),
 	}, nil
 }
 

@@ -11,11 +11,24 @@
 //
 //	simulate  -arch inca -model ResNet18 -phase inference [-batch N]
 //	sweep     -archs inca,baseline -models LeNet5 -phases inference,training
+//	job       durable async jobs: submit | status | wait | result | cancel | list
 //	models    list the server's model zoo
 //	metrics   fetch the server's counter snapshot
 //	ready     probe /healthz/ready once (no retries); exit 0 when ready
 //
-// Every command prints the server's JSON answer to stdout.
+// The job verbs drive the server's durable async API: `job submit`
+// takes sweep's flags and answers immediately with the job's snapshot
+// (IDs are content-derived, so resubmitting is idempotent), `job wait`
+// polls until the job is terminal and survives the server restarting
+// mid-job, and `job result` prints the server's result bytes verbatim
+// — byte-identical whether the job ran through or was crash-resumed.
+//
+//	id=$(inca-client job submit -models LeNet5 | jq -r .id)
+//	inca-client job wait "$id"
+//	inca-client job result "$id" > result.json
+//
+// Every command prints the server's JSON answer to stdout (`job
+// result` prints the stored result body unmodified).
 package main
 
 import (
@@ -53,7 +66,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the server-returned trace ID (X-Trace-Id) to stderr")
 	logLevel := cli.LogLevelFlag(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|models|metrics|ready} [flags]")
+		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|job|models|metrics|ready} [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +111,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		out, err = runSimulate(ctx, c, rest, stderr)
 	case "sweep":
 		out, err = runSweep(ctx, c, rest, stderr)
+	case "job":
+		out, err = runJob(ctx, c, rest, stdout, stderr)
 	case "models":
 		out, err = c.Models(ctx)
 	case "metrics":
@@ -119,6 +134,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stderr, "inca-client:", err)
 		return 1
+	}
+	if out == nil {
+		// The command wrote its answer itself (job result streams the
+		// stored bytes verbatim — re-encoding would break byte-identity).
+		return 0
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -164,6 +184,95 @@ func runSweep(ctx context.Context, c *inca.Client, args []string, stderr io.Writ
 		Phases: splitList(*phases),
 		Batch:  *batch,
 	})
+}
+
+// runJob dispatches the durable-async-job verbs. Verbs that answer
+// with a snapshot (or list) return it for the uniform JSON encoder;
+// `result` writes the stored bytes straight to stdout and returns nil.
+func runJob(ctx context.Context, c *inca.Client, args []string, stdout, stderr io.Writer) (any, error) {
+	usage := func() {
+		fmt.Fprintln(stderr, "usage: inca-client job {submit|status|wait|result|cancel|list} ...")
+	}
+	if len(args) == 0 {
+		usage()
+		return nil, errUsage
+	}
+	verb, rest := args[0], args[1:]
+	// The id-taking verbs accept the job ID as the sole positional arg.
+	wantID := func(fs *flag.FlagSet) (string, error) {
+		if err := fs.Parse(rest); err != nil {
+			return "", errUsage
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintf(stderr, "usage: inca-client job %s <job-id>\n", verb)
+			return "", errUsage
+		}
+		return fs.Arg(0), nil
+	}
+	switch verb {
+	case "submit":
+		fs := flag.NewFlagSet("inca-client job submit", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		archs := fs.String("archs", "inca,baseline", "comma-separated architecture axis")
+		models := fs.String("models", "LeNet5", "comma-separated model axis")
+		phases := fs.String("phases", "inference", "comma-separated phase axis")
+		batch := fs.Int("batch", 0, "batch-size override for every non-fixed arch (0 = defaults)")
+		if err := fs.Parse(rest); err != nil {
+			return nil, errUsage
+		}
+		return c.JobSubmit(ctx, inca.ServiceSweepRequest{
+			Archs:  splitList(*archs),
+			Models: splitList(*models),
+			Phases: splitList(*phases),
+			Batch:  *batch,
+		})
+	case "status":
+		fs := flag.NewFlagSet("inca-client job status", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		id, err := wantID(fs)
+		if err != nil {
+			return nil, err
+		}
+		return c.JobStatus(ctx, id)
+	case "wait":
+		fs := flag.NewFlagSet("inca-client job wait", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		poll := fs.Duration("poll", 250*time.Millisecond, "status poll interval")
+		id, err := wantID(fs)
+		if err != nil {
+			return nil, err
+		}
+		return c.JobWait(ctx, id, *poll)
+	case "result":
+		fs := flag.NewFlagSet("inca-client job result", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		id, err := wantID(fs)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := c.JobResult(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := stdout.Write(raw); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case "cancel":
+		fs := flag.NewFlagSet("inca-client job cancel", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		id, err := wantID(fs)
+		if err != nil {
+			return nil, err
+		}
+		return c.JobCancel(ctx, id)
+	case "list":
+		return c.JobList(ctx)
+	default:
+		fmt.Fprintf(stderr, "inca-client: unknown job verb %q\n", verb)
+		usage()
+		return nil, errUsage
+	}
 }
 
 // splitList parses a comma-separated flag value, dropping empty entries.

@@ -10,6 +10,7 @@
 //	inca-serve -inflight 8 -queue 128 -request-timeout 30s
 //	inca-serve -kernels 4          # cap the process-wide tensor budget
 //	inca-serve -store-dir /var/lib/inca   # persist results; restarts warm-start from disk
+//	inca-serve -job-dir /var/lib/inca-jobs   # journal async jobs; restarts resume them
 //	inca-serve -trace-jsonl t.jsonl -pprof   # tracing + profiling endpoints
 //	inca-serve -chaos-seed 42      # opt-in fault injection (never in production)
 //	inca-serve -peers http://10.0.0.2:8321,http://10.0.0.3:8321   # cluster coordinator
@@ -27,6 +28,11 @@
 //	POST /v1/simulate            one (config, network, phase) cell
 //	POST /v1/sweep               declarative plan on the parallel engine
 //	POST /v1/shard/sweep         explicit cell list (cluster coordinators call this)
+//	POST /v1/jobs                submit a sweep as a durable async job (202 + job id)
+//	GET  /v1/jobs                list jobs, submission order
+//	GET  /v1/jobs/{id}           one job's state and progress
+//	GET  /v1/jobs/{id}/result    a succeeded job's result (JSON or CSV)
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET  /v1/models              the network zoo
 //	GET  /v1/experiments         experiment index
 //	GET  /v1/experiments/{id}    one paper table/figure
@@ -84,6 +90,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	storeDir := fs.String("store-dir", "", "persist simulation results in this directory for warm restarts (empty = memory-only)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "result-store size cap in bytes; overflow compacts oldest-first (0 = 256 MiB)")
 	storeTTL := fs.Duration("store-ttl", 0, "result-store record time-to-live; expired records evict at compaction (0 = keep forever)")
+	jobDir := fs.String("job-dir", "", "journal async jobs in this directory so restarts resume them (empty = jobs are memory-only)")
+	jobRunners := fs.Int("job-runners", 0, "async-job runner pool size (0 = 2)")
+	jobQueue := fs.Int("job-queue", 0, "async-job queue depth beyond the runner pool; overflow answers 503 (0 = 64)")
 	quiet := fs.Bool("quiet", false, "suppress all logs (same as -log-level off)")
 	logLevel := cli.LogLevelFlag(fs)
 	traceJSONL := fs.String("trace-jsonl", "", "enable tracing and append every completed span to this JSONL file")
@@ -92,6 +101,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	chaosSeed := fs.Int64("chaos-seed", 0, "arm the fault injector with this seed (0 = off; never use in production)")
 	chaosProb := fs.Float64("chaos-prob", 0.1, "per-request probability of each armed chaos fault")
 	chaosLatency := fs.Duration("chaos-latency", 50*time.Millisecond, "injected latency for the chaos latency fault")
+	chaosCellDelay := fs.Duration("chaos-cell-delay", 0, "inject this latency into every sweep cell (needs -chaos-seed; 0 = off)")
 	peers := fs.String("peers", "", "comma-separated shard base URLs; non-empty makes this node a cluster coordinator")
 	shardID := fs.String("shard-id", "", "this node's name in shard responses and readiness bodies")
 	coalesceOn := fs.Bool("coalesce", true, "coalesce identical concurrent /v1/simulate and /v1/sweep requests into one execution")
@@ -173,13 +183,45 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The job manager is always on — /v1/jobs works out of the box with
+	// memory-only state; -job-dir adds the journal that makes jobs
+	// survive crashes. It opens after the store so a resumed job's
+	// re-execution finds the completed cells already on disk, and its
+	// deferred Close runs before the store's (LIFO), so runners stop
+	// writing before the store goes away.
+	jm, err := inca.OpenJobManager(*jobDir, inca.JobManagerOptions{
+		Runners:    *jobRunners,
+		QueueDepth: *jobQueue,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "inca-serve:", err)
+		return 1
+	}
+	defer jm.Close()
+	if *jobDir != "" {
+		js := jm.Stats()
+		logger.Info("job journal open", "dir", *jobDir,
+			"jobs", js.Jobs, "torn_records", js.TornRecords)
+	}
+
 	// Chaos mode is strictly opt-in: without -chaos-seed the injector is
 	// nil and the fault paths cost nothing.
 	var inj *inca.FaultInjector
 	if *chaosSeed != 0 {
 		inj = inca.NewFaultInjector(*chaosSeed)
-		inj.Add(inca.FaultRule{Site: inca.ChaosSiteRequest, Kind: inca.FaultError, Prob: *chaosProb})
-		inj.Add(inca.FaultRule{Site: inca.ChaosSiteExec, Kind: inca.FaultLatency, Prob: *chaosProb, Delay: *chaosLatency})
+		// -chaos-prob 0 leaves the random request faults unarmed (the
+		// fault package reads a zero Prob as "always", which is never what
+		// a smoke script armed only for -chaos-cell-delay wants).
+		if *chaosProb > 0 {
+			inj.Add(inca.FaultRule{Site: inca.ChaosSiteRequest, Kind: inca.FaultError, Prob: *chaosProb})
+			inj.Add(inca.FaultRule{Site: inca.ChaosSiteExec, Kind: inca.FaultLatency, Prob: *chaosProb, Delay: *chaosLatency})
+		}
+		if *chaosCellDelay > 0 {
+			// Deterministic per-cell drag (Prob 1) at the sweep engine's
+			// cell site: the crash-resume smoke test uses it to widen the
+			// window between checkpoints so a kill -9 lands mid-job.
+			inj.Add(inca.FaultRule{Site: sweep.SpanCell + "/*", Kind: inca.FaultLatency, Prob: 1, Delay: *chaosCellDelay})
+		}
 		logger.Warn("chaos mode armed: requests will randomly fail",
 			"seed", *chaosSeed, "prob", *chaosProb, "latency", chaosLatency.String())
 	}
@@ -191,8 +233,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *peers != "" {
 		peerList := splitPeers(*peers)
 		co, err := cluster.New(cluster.Options{
-			Peers:  peerList,
-			Client: client.Options{Logger: logger},
+			Peers: peerList,
+			// The armed breaker keeps a dead shard from eating a full
+			// retry budget on every readiness probe and dispatch: after 8
+			// consecutive transient failures its client fails fast until
+			// the cooldown's half-open probe finds the peer again.
+			Client: client.Options{Logger: logger, BreakerThreshold: 8},
 			Cache:  cache,
 			Logger: logger,
 		})
@@ -222,6 +268,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			Enabled: *coalesceOn,
 			MaxWait: *coalesceWait,
 		},
+		Jobs:            jm,
 		Sharder:         sharder,
 		ShardID:         *shardID,
 		RetryJitterSeed: *retryJitterSeed,

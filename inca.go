@@ -44,6 +44,7 @@ import (
 	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/gpu"
 	"github.com/inca-arch/inca/internal/insitu"
+	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/metrics"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/obs"
@@ -768,6 +769,79 @@ func NewService(opt ServiceOptions) *Service { return serve.New(opt) }
 // with default options plus the given cache and logger taken from opt.
 func NewServiceHandler(opt ServiceOptions) http.Handler { return serve.New(opt).Handler() }
 
+// --- Durable asynchronous jobs (crash-safe sweeps) ---
+
+type (
+	// JobManager owns the durable asynchronous job subsystem: submitted
+	// sweep specs execute on a bounded runner pool detached from the
+	// submitting request, every state transition and progress step is
+	// journaled (append-only, CRC-framed, torn tails truncated at open
+	// like the result store's segments), and a manager reopened over the
+	// same directory resumes every non-terminal job from the journal —
+	// re-running only the cells the result store has not already
+	// persisted, so the resumed result is byte-identical to an
+	// uninterrupted run. Attach one via ServiceOptions.Jobs to serve the
+	// /v1/jobs API.
+	JobManager = job.Manager
+	// JobManagerOptions bounds OpenJobManager; the zero value is usable
+	// (2 runners, queue depth 64).
+	JobManagerOptions = job.Options
+	// JobSnapshot is one job's externally visible state — also the
+	// GET /v1/jobs/{id} payload.
+	JobSnapshot = job.Snapshot
+	// JobState is a job's lifecycle state: queued → running →
+	// succeeded | failed | cancelled.
+	JobState = job.State
+	// JobStats is the manager's counter snapshot, exported inside
+	// /metrics and /healthz/ready.
+	JobStats = job.Stats
+)
+
+// The job lifecycle states.
+const (
+	JobQueued    = job.StateQueued
+	JobRunning   = job.StateRunning
+	JobSucceeded = job.StateSucceeded
+	JobFailed    = job.StateFailed
+	JobCancelled = job.StateCancelled
+)
+
+// Job subsystem sentinels: ErrJobQueueFull answers a submission the
+// bounded queue cannot hold (HTTP 503 with Retry-After); ErrUnknownJob
+// answers lookups of IDs the manager never saw; ErrJobsDisabled
+// answers facade job calls on a service built without a JobManager;
+// ErrJobRunnerPanic is the terminal error of a job whose executor
+// panicked — the runner pool recovers it and the job fails instead of
+// taking the process down.
+var (
+	ErrJobQueueFull   = job.ErrQueueFull
+	ErrUnknownJob     = job.ErrUnknownJob
+	ErrJobsDisabled   = serve.ErrJobsDisabled
+	ErrJobRunnerPanic = job.ErrRunnerPanic
+)
+
+// OpenJobManager opens (or creates) a job manager journaled under dir;
+// an empty dir keeps jobs in memory only (no crash resume). Jobs found
+// non-terminal in the journal — the process died or shut down while
+// they were queued or running — are requeued the moment the manager is
+// attached to a service.
+func OpenJobManager(dir string, opt JobManagerOptions) (*JobManager, error) {
+	return job.Open(dir, opt)
+}
+
+// SubmitJob submits a sweep spec as a durable asynchronous job on the
+// service's manager — the in-process twin of POST /v1/jobs. Job IDs
+// derive from the spec's content, so resubmitting an identical spec
+// returns the existing job's snapshot instead of duplicating work.
+func SubmitJob(s *Service, req ServiceSweepRequest) (JobSnapshot, error) {
+	return s.SubmitJob(req)
+}
+
+// JobStatus reports one job's current snapshot.
+func JobStatus(s *Service, id string) (JobSnapshot, error) {
+	return s.JobStatus(id)
+}
+
 // --- Fault injection and retries (the robustness layer) ---
 
 type (
@@ -818,6 +892,7 @@ const (
 	ChaosSiteRequest = serve.ChaosSiteRequest
 	ChaosSiteExec    = serve.ChaosSiteExec
 	ChaosSiteCancel  = serve.ChaosSiteCancel
+	ChaosSiteJob     = serve.ChaosSiteJob
 )
 
 // ErrClientAttemptsExhausted reports a Client call that stayed retryable

@@ -1,0 +1,137 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/inca-arch/inca/internal/fault"
+)
+
+// ErrCircuitOpen is returned (wrapped, and marked transient) when the
+// client's circuit breaker is open: enough consecutive transient
+// failures have accumulated that the host is presumed down, and calls
+// fail fast instead of burning retry budget against it. Callers that
+// classify errors with fault.IsTransient treat a tripped host exactly
+// like a dead one — the cluster coordinator rehashes its cells — and
+// polling callers (JobWait) simply keep polling until the cooldown
+// elapses and the half-open probe reconnects.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// BreakerStats is a point-in-time view of the client's circuit breaker.
+type BreakerStats struct {
+	// Trips counts closed→open transitions since construction.
+	Trips int64 `json:"trips"`
+	// ShortCircuited counts calls failed fast without touching the host.
+	ShortCircuited int64 `json:"short_circuited"`
+	// Open reports whether the breaker is currently open (cooling down)
+	// or half-open (probe in flight).
+	Open bool `json:"open"`
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed, it only
+// counts: every transient failure extends the streak, any response
+// from the host (success or a terminal 4xx answer) resets it. At
+// threshold it opens: calls fail fast with ErrCircuitOpen until a
+// seeded-jitter cooldown elapses, then exactly one call is let through
+// half-open as the probe — its success closes the breaker, its failure
+// re-opens it for another cooldown. A nil breaker is inert.
+type breaker struct {
+	threshold int
+	cooldown  *fault.Backoff
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	until       time.Time
+	trips       int64
+	shorted     int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, seed int64) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  fault.NewBackoff(cooldown, cooldown, seed),
+		now:       time.Now,
+	}
+}
+
+// allow gates one call. A nil error means the call may proceed (and,
+// in the half-open state, that this call is the probe); a non-nil
+// error is the fail-fast answer and the exchange must not happen.
+func (b *breaker) allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if remaining := b.until.Sub(b.now()); remaining > 0 {
+			b.shorted++
+			return fault.MarkTransient(fmt.Errorf("%w: retry in %v", ErrCircuitOpen, remaining.Round(time.Millisecond)))
+		}
+		b.state = breakerHalfOpen
+		return nil
+	case breakerHalfOpen:
+		b.shorted++
+		return fault.MarkTransient(fmt.Errorf("%w: half-open probe in flight", ErrCircuitOpen))
+	default:
+		return nil
+	}
+}
+
+// observe records the outcome of a call that allow admitted. Only
+// transient failures count against the host: a terminal answer (4xx,
+// malformed body) proves the host is alive, so it closes the breaker
+// like a success. Context cancellation says nothing about the host
+// and is ignored entirely.
+func (b *breaker) observe(err error) {
+	if b == nil {
+		return
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil || !fault.IsTransient(err) {
+		b.state = breakerClosed
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= b.threshold {
+		b.state = breakerOpen
+		b.trips++
+		b.consecutive = 0
+		// The cooldown draws from [cooldown/2, cooldown) on the
+		// breaker's own seeded stream — a fleet of clients tripped by
+		// the same outage probes back staggered, not in lockstep.
+		b.until = b.now().Add(b.cooldown.Delay(0))
+	}
+}
+
+func (b *breaker) stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		Trips:          b.trips,
+		ShortCircuited: b.shorted,
+		Open:           b.state != breakerClosed,
+	}
+}

@@ -1,0 +1,215 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/inca-arch/inca/internal/fault"
+)
+
+// TestBreakerTripsOnConsecutiveTransientFailures drives a client against
+// a server that always answers 500 and checks the breaker opens after
+// the configured streak, short-circuiting later calls without touching
+// the wire.
+func TestBreakerTripsOnConsecutiveTransientFailures(t *testing.T) {
+	t.Parallel()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, Options{
+		MaxAttempts:      2,
+		BaseDelay:        time.Millisecond,
+		MaxDelay:         2 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour, // never half-opens within the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// First call: 2 attempts, both 500 — streak reaches 2, still closed.
+	if _, err := c.Models(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := c.BreakerStats(); got.Open || got.Trips != 0 {
+		t.Fatalf("breaker after 2 failures = %+v, want closed", got)
+	}
+	// Second call: the first attempt is failure #3 — the breaker trips
+	// and the retry loop's remaining attempt short-circuits.
+	if _, err := c.Models(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	st := c.BreakerStats()
+	if !st.Open || st.Trips != 1 {
+		t.Fatalf("breaker after threshold = %+v, want open with 1 trip", st)
+	}
+	wire := hits.Load()
+	if wire != 3 {
+		t.Fatalf("server saw %d exchanges, want 3 (the post-trip attempt must not reach the wire)", wire)
+	}
+
+	// Open breaker: calls fail fast with a transient ErrCircuitOpen and
+	// the server sees nothing.
+	_, err = c.Models(ctx)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-breaker call: err = %v, want ErrCircuitOpen", err)
+	}
+	if !fault.IsTransient(err) {
+		t.Fatal("ErrCircuitOpen must classify transient — a tripped host is a dead host")
+	}
+	if hits.Load() != wire {
+		t.Fatalf("open breaker leaked %d exchanges to the wire", hits.Load()-wire)
+	}
+	if got := c.BreakerStats(); got.ShortCircuited == 0 {
+		t.Fatalf("short-circuit counter = %+v", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovers trips the breaker against a dead
+// server, waits out the cooldown, and checks one probe both reaches the
+// (now healthy) server and closes the breaker.
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	t.Parallel()
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`[]`))
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, Options{
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Models(ctx); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if st := c.BreakerStats(); !st.Open || st.Trips != 1 {
+		t.Fatalf("breaker = %+v, want open", st)
+	}
+
+	healthy.Store(true)
+	// The cooldown draws from [10ms, 20ms); by 25ms the probe is allowed.
+	time.Sleep(25 * time.Millisecond)
+	if _, err := c.Models(ctx); err != nil {
+		t.Fatalf("half-open probe should succeed: %v", err)
+	}
+	if st := c.BreakerStats(); st.Open || st.Trips != 1 {
+		t.Fatalf("breaker after successful probe = %+v, want closed", st)
+	}
+	if _, err := c.Models(ctx); err != nil {
+		t.Fatalf("closed breaker must pass calls: %v", err)
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens checks a failed probe re-trips
+// the breaker for another cooldown.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	t.Parallel()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"still down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, Options{
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		c.Models(ctx)
+	}
+	time.Sleep(25 * time.Millisecond)
+	if _, err := c.Models(ctx); err == nil {
+		t.Fatal("probe against a dead server must fail")
+	}
+	if st := c.BreakerStats(); !st.Open || st.Trips != 2 {
+		t.Fatalf("breaker after failed probe = %+v, want re-opened with 2 trips", st)
+	}
+}
+
+// TestBreakerTerminalAnswerResetsStreak checks 4xx answers — the host
+// responded, it is alive — close the streak instead of feeding it.
+func TestBreakerTerminalAnswerResetsStreak(t *testing.T) {
+	t.Parallel()
+	var fail atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		http.Error(w, `{"error":"no such thing"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, Options{
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fail.Store(true)
+	c.Models(ctx) // transient failure #1
+	fail.Store(false)
+	c.Models(ctx) // 404: terminal answer, streak resets
+	fail.Store(true)
+	c.Models(ctx) // transient failure #1 again — still under threshold
+	if st := c.BreakerStats(); st.Open || st.Trips != 0 {
+		t.Fatalf("breaker = %+v, want closed (terminal answers reset the streak)", st)
+	}
+}
+
+// TestBreakerDisabledByDefault checks an unarmed client never trips no
+// matter how many transient failures accumulate.
+func TestBreakerDisabledByDefault(t *testing.T) {
+	t.Parallel()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL, Options{MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Models(context.Background())
+	}
+	if st := c.BreakerStats(); st.Open || st.Trips != 0 || st.ShortCircuited != 0 {
+		t.Fatalf("unarmed breaker = %+v, want all-zero", st)
+	}
+	if hits.Load() != 10 {
+		t.Fatalf("server saw %d exchanges, want all 10", hits.Load())
+	}
+}

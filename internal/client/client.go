@@ -79,6 +79,18 @@ type Options struct {
 	// tracing server. Called once per attempt, including failed ones
 	// (a failed attempt's trace is exactly the one worth fetching).
 	OnTrace func(traceID string)
+	// BreakerThreshold arms the client's circuit breaker: after that
+	// many consecutive transient failures (across calls — the streak is
+	// per-client, not per-request) the breaker opens and every call
+	// fails fast with ErrCircuitOpen until BreakerCooldown elapses, then
+	// one half-open probe decides whether to close it again. The
+	// fail-fast error is marked transient, so a tripped host classifies
+	// exactly like a dead one. <= 0 leaves the breaker off.
+	BreakerThreshold int
+	// BreakerCooldown is the base open-state cooldown; the actual wait
+	// draws from [cooldown/2, cooldown) on the Seed stream. <= 0 means
+	// 5s. Only consulted when BreakerThreshold > 0.
+	BreakerCooldown time.Duration
 }
 
 // Client talks to one inca service instance. Safe for concurrent use.
@@ -86,6 +98,7 @@ type Client struct {
 	base    string
 	hc      *http.Client
 	backoff *fault.Backoff
+	brk     *breaker
 	opt     Options
 	log     *slog.Logger
 }
@@ -117,10 +130,18 @@ func New(baseURL string, opt Options) (*Client, error) {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	var brk *breaker
+	if opt.BreakerThreshold > 0 {
+		if opt.BreakerCooldown <= 0 {
+			opt.BreakerCooldown = 5 * time.Second
+		}
+		brk = newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, opt.Seed)
+	}
 	return &Client{
 		base:    strings.TrimRight(u.String(), "/"),
 		hc:      hc,
 		backoff: fault.NewBackoff(opt.BaseDelay, opt.MaxDelay, opt.Seed),
+		brk:     brk,
 		opt:     opt,
 		log:     log,
 	}, nil
@@ -165,7 +186,13 @@ func (c *Client) ShardSweep(ctx context.Context, req serve.ShardSweepRequest) (*
 // cluster healthier than it is. It returns nil for 200 (ready or
 // degraded) and the classified error otherwise.
 func (c *Client) Ready(ctx context.Context) error {
-	return c.once(ctx, http.MethodGet, "/healthz/ready", nil, nil)
+	return c.exchange(ctx, http.MethodGet, "/healthz/ready", nil, nil)
+}
+
+// BreakerStats reports the circuit breaker's trip and short-circuit
+// counters. The zero value when no breaker is armed.
+func (c *Client) BreakerStats() BreakerStats {
+	return c.brk.stats()
 }
 
 // StoreImport streams an exported result corpus (JSON Lines) into the
@@ -231,7 +258,7 @@ func (c *Client) callRaw(ctx context.Context, method, path string, payload []byt
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lastErr = c.once(ctx, method, path, payload, out)
+		lastErr = c.exchange(ctx, method, path, payload, out)
 		if lastErr == nil || !fault.IsTransient(lastErr) {
 			return lastErr
 		}
@@ -256,6 +283,19 @@ func (c *Client) callRaw(ctx context.Context, method, path string, payload []byt
 		}
 	}
 	return fmt.Errorf("%w after %d attempts: %w", ErrAttemptsExhausted, c.opt.MaxAttempts, lastErr)
+}
+
+// exchange is one breaker-gated attempt: an open breaker answers
+// without touching the wire (and without feeding itself — only real
+// exchanges count), otherwise the outcome of the exchange is what the
+// breaker learns from.
+func (c *Client) exchange(ctx context.Context, method, path string, payload []byte, out any) error {
+	if err := c.brk.allow(); err != nil {
+		return err
+	}
+	err := c.once(ctx, method, path, payload, out)
+	c.brk.observe(err)
+	return err
 }
 
 // once runs a single HTTP exchange. Transport failures come back marked

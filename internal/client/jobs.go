@@ -1,0 +1,102 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/job"
+	"github.com/inca-arch/inca/internal/serve"
+)
+
+// JobSubmit enqueues a sweep (or tune) as a durable asynchronous job
+// and returns its snapshot. Submission is idempotent — the job ID is
+// derived from the spec's content, so resubmitting after a lost
+// response or a server restart lands on the same job instead of
+// duplicating work. 503 (queue full) is transient and rides the retry
+// loop like any overload answer.
+func (c *Client) JobSubmit(ctx context.Context, req serve.SweepRequest) (*job.Snapshot, error) {
+	var snap job.Snapshot
+	if err := c.call(ctx, http.MethodPost, "/v1/jobs", req, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// JobStatus fetches one job's snapshot.
+func (c *Client) JobStatus(ctx context.Context, id string) (*job.Snapshot, error) {
+	var snap job.Snapshot
+	if err := c.call(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// JobList fetches every job the server knows about, submission order.
+func (c *Client) JobList(ctx context.Context) ([]job.Snapshot, error) {
+	var list serve.JobList
+	if err := c.call(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// JobResult fetches a succeeded job's result body verbatim — the exact
+// bytes the server journaled at completion, byte-identical across
+// crash-resumed and uninterrupted runs. A job that is not (yet)
+// succeeded answers with a non-2xx status and comes back as *APIError:
+// 409 still running, 410 cancelled, 500 failed.
+func (c *Client) JobResult(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.callRaw(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, rawBody(&raw)); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// JobCancel asks the server to cancel a job and returns the resulting
+// snapshot: terminal cancelled for a queued job, best-effort (the
+// runner's context is cancelled) for a running one.
+func (c *Client) JobCancel(ctx context.Context, id string) (*job.Snapshot, error) {
+	var snap job.Snapshot
+	if err := c.call(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// JobWait polls a job until it reaches a terminal state and returns
+// the final snapshot (inspect Snapshot.State — a failed job is a
+// successful wait). poll <= 0 means 250ms.
+//
+// The wait survives the server dying mid-job: transient poll failures
+// — connection refused while the process is down, retries exhausted,
+// an open circuit breaker — keep polling rather than aborting, so when
+// the server restarts and resumes the journaled job, the same wait
+// picks it back up and completes. Only a terminal answer (the job ID
+// is unknown, the request is malformed) or the caller's own context
+// ends the wait early.
+func (c *Client) JobWait(ctx context.Context, id string, poll time.Duration) (*job.Snapshot, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		snap, err := c.JobStatus(ctx, id)
+		switch {
+		case err == nil:
+			if snap.State.Terminal() {
+				return snap, nil
+			}
+		case fault.IsTransient(err):
+			// The server may be down and resuming; keep polling.
+		default:
+			return nil, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		}
+		if err := fault.Sleep(ctx, poll); err != nil {
+			return nil, err
+		}
+	}
+}

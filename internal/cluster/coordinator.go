@@ -278,6 +278,19 @@ func (co *Coordinator) Health(ctx context.Context) []serve.PeerHealth {
 	return out
 }
 
+// BreakerTrips sums circuit-breaker trips across the per-peer dispatch
+// clients — how many times a dead shard stopped being probed at full
+// retry cost. Zero when Options.Client leaves the breaker unarmed.
+// serve's /metrics discovers this method by interface assertion and
+// exports it as inca_client_breaker_trips_total.
+func (co *Coordinator) BreakerTrips() int64 {
+	var total int64
+	for _, c := range co.clients {
+		total += c.BreakerStats().Trips
+	}
+	return total
+}
+
 // Peers returns the configured peer URLs, sorted.
 func (co *Coordinator) Peers() []string {
 	out := make([]string, len(co.opt.Peers))

@@ -20,6 +20,11 @@ const (
 	// cancels the request's context the rule's Delay later — a client
 	// abandoning mid-flight.
 	ChaosSiteCancel = "serve/cancel"
+	// ChaosSiteJob is hit once per job execution, inside the runner pool
+	// on the job's detached context: panic rules kill the executor
+	// (exercising orphaned-job reclamation into a terminal failed
+	// state), error rules fail the job, latency rules stretch the run.
+	ChaosSiteJob = "serve/job"
 )
 
 // chaos wraps the route mux with the fault-injecting middleware. It sits

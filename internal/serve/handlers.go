@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/inca-arch/inca/internal/dataflow"
+	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/sim"
@@ -415,13 +416,16 @@ func (s *Server) handleLiveness(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// readinessResponse is the /healthz/ready body in shard mode: overall
-// status plus every peer's probe outcome. Outside shard mode the probe
-// keeps its plain-text "ok" contract.
+// readinessResponse is the /healthz/ready body in shard mode or on a
+// server with the job API enabled: overall status, every peer's probe
+// outcome (shard mode always probes at least one peer, so the field's
+// presence is unchanged there), and the job subsystem's queue gauges.
+// A plain server with neither keeps its plain-text "ok" contract.
 type readinessResponse struct {
 	Status  string       `json:"status"`
 	ShardID string       `json:"shard_id,omitempty"`
-	Peers   []PeerHealth `json:"peers"`
+	Peers   []PeerHealth `json:"peers,omitempty"`
+	Jobs    *job.Stats   `json:"jobs,omitempty"`
 }
 
 // handleReadiness is the readiness probe (/healthz/ready): 200 while the
@@ -437,9 +441,18 @@ func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sh := s.opt.Sharder
-	if sh == nil {
+	if sh == nil && s.opt.Jobs == nil {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
+		return
+	}
+	resp := readinessResponse{Status: "ready", ShardID: s.opt.ShardID}
+	if jm := s.opt.Jobs; jm != nil {
+		stats := jm.Stats()
+		resp.Jobs = &stats
+	}
+	if sh == nil {
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	peers := sh.Health(r.Context())
@@ -449,7 +462,7 @@ func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
 			down++
 		}
 	}
-	resp := readinessResponse{Status: "ready", ShardID: s.opt.ShardID, Peers: peers}
+	resp.Peers = peers
 	switch {
 	case down == 0:
 	case down*2 < len(peers):

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
@@ -139,9 +140,9 @@ type Snapshot struct {
 	Coalesced   int64 `json:"coalesced_total"`
 	MaxInflight int   `json:"max_inflight"`
 	QueueDepth  int   `json:"queue_depth"`
-	Status2xx   int64   `json:"responses_2xx"`
-	Status4xx   int64   `json:"responses_4xx"`
-	Status5xx   int64   `json:"responses_5xx"`
+	Status2xx   int64 `json:"responses_2xx"`
+	Status4xx   int64 `json:"responses_4xx"`
+	Status5xx   int64 `json:"responses_5xx"`
 	// KernelBudget is the process-wide tensor worker budget the server's
 	// per-request sweep pools are derived from.
 	KernelBudget   int              `json:"kernel_budget"`
@@ -154,6 +155,12 @@ type Snapshot struct {
 	// Store is the persistent result store's counter set; omitted when
 	// the server runs memory-only.
 	Store *store.Stats `json:"store,omitempty"`
+	// Jobs is the async job subsystem's counter set; omitted when the
+	// server runs without a job manager.
+	Jobs *job.Stats `json:"jobs,omitempty"`
+	// BreakerTrips counts the dispatch clients' circuit-breaker trips on
+	// a coordinator node; omitted outside cluster mode.
+	BreakerTrips *int64 `json:"breaker_trips_total,omitempty"`
 	// Runtime is the Go runtime's live state at snapshot time.
 	Runtime RuntimeStats `json:"runtime"`
 	// Kernels is the process-wide tensor-kernel activity (zeros unless a
@@ -202,6 +209,14 @@ func (s *Server) snapshot() Snapshot {
 	if st := s.opt.Store; st != nil {
 		stats := st.Stats()
 		snap.Store = &stats
+	}
+	if jm := s.opt.Jobs; jm != nil {
+		stats := jm.Stats()
+		snap.Jobs = &stats
+	}
+	if bt, ok := s.opt.Sharder.(interface{ BreakerTrips() int64 }); ok {
+		v := bt.BreakerTrips()
+		snap.BreakerTrips = &v
 	}
 	if t := s.opt.Tracer; t != nil {
 		if ring := t.Ring(); ring != nil {
@@ -270,6 +285,20 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 		scalar("inca_store_entries", "gauge", "Live records in the store index.", st.Entries)
 		scalar("inca_store_segments", "gauge", "Segment files backing the store.", st.Segments)
 		scalar("inca_store_bytes", "gauge", "Bytes across all segment files.", st.Bytes)
+	}
+
+	if jb := snap.Jobs; jb != nil {
+		scalar("inca_jobs_queued", "gauge", "Jobs waiting for a runner.", jb.Queued)
+		scalar("inca_jobs_running", "gauge", "Jobs executing on the runner pool.", jb.Running)
+		scalar("inca_jobs_completed_total", "counter", "Jobs that reached the succeeded state.", jb.Completed)
+		scalar("inca_jobs_failed_total", "counter", "Jobs that reached the failed state.", jb.Failed)
+		scalar("inca_jobs_cancelled_total", "counter", "Jobs cancelled cooperatively.", jb.Cancelled)
+		scalar("inca_jobs_resumed_total", "counter", "Journal-recovered jobs requeued after a restart.", jb.Resumed)
+		scalar("inca_jobs_queue_depth", "gauge", "Configured job-queue shedding bound.", jb.QueueDepth)
+		scalar("inca_jobs_journal_torn_records_total", "counter", "Torn journal tails truncated at open.", jb.TornRecords)
+	}
+	if snap.BreakerTrips != nil {
+		scalar("inca_client_breaker_trips_total", "counter", "Dispatch-client circuit-breaker trips on this coordinator.", *snap.BreakerTrips)
 	}
 
 	scalar("inca_kernel_budget", "gauge", "Process-wide tensor worker budget.", snap.KernelBudget)

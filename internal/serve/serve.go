@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca/internal/fault"
+	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/sweep"
@@ -118,6 +119,16 @@ type Options struct {
 	// /v1/simulate and /v1/sweep requests. Off by default (see
 	// CoalesceOptions); cmd/inca-serve enables it with -coalesce.
 	Coalesce CoalesceOptions
+	// Jobs, when non-nil, mounts the asynchronous job API (POST /v1/jobs
+	// and friends): sweep/tune requests execute detached from their
+	// callers on the manager's bounded runner pool, with per-cell
+	// completion checkpointed through the result store and the manager's
+	// journal so interrupted jobs resume after a restart. New arms the
+	// manager with this server's executor (job.Manager.Start); the owner
+	// closes the manager — before the store — at process exit
+	// (cmd/inca-serve opens one with -job-dir). Without a manager the
+	// /v1/jobs routes answer 404.
+	Jobs *job.Manager
 	// Sharder, when non-nil, switches /v1/sweep to cluster scatter/
 	// gather: expanded cells are handed to the sharder (the
 	// internal/cluster coordinator in cmd/inca-serve) instead of the
@@ -216,6 +227,11 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentIndex)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/store/export", s.handleStoreExport)
@@ -232,6 +248,11 @@ func New(opt Options) *Server {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	s.handler = s.instrument(s.chaos(mux))
+	if opt.Jobs != nil {
+		// Arm the manager with this server's executor: recovered jobs
+		// requeue and the runner pool starts draining immediately.
+		opt.Jobs.Start(s.execJob)
+	}
 	s.ready.Store(true)
 	return s
 }

@@ -72,6 +72,12 @@ type Options struct {
 	// Each cell key draws from its own seeded stream, so injected fault
 	// schedules reproduce at any worker count.
 	Inject *fault.Injector
+	// OnResult, when non-nil, observes every completed cell of a
+	// RunCells run as it drains, in completion order. Calls are made
+	// serially from the consuming goroutine, so the hook needs no
+	// locking of its own — it is the progress checkpoint the job
+	// subsystem journals per-cell completion through.
+	OnResult func(Result)
 }
 
 func (o Options) workers(cells int) int {
@@ -330,6 +336,9 @@ func RunCells(ctx context.Context, cells []Cell, opt Options) ([]Result, error) 
 	ordered := make([]Result, len(cells))
 	for ir := range streamCells(ctx, cells, opt, func(i int, r Result) indexedResult { return indexedResult{i, r} }) {
 		ordered[ir.idx] = ir.res
+		if opt.OnResult != nil {
+			opt.OnResult(ir.res)
+		}
 	}
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		for _, r := range ordered {
