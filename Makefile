@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-gate bench-sweep serve-smoke cluster-smoke job-smoke chaos trace profile
+.PHONY: check build test vet race api-surface api-surface-update bench bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 bench-gate bench-sweep serve-smoke cluster-smoke job-smoke obs-smoke chaos trace profile
 
 check: vet build race api-surface bench-gate
 
@@ -50,6 +50,12 @@ bench-pr8:
 # (a 64-cell async job cold vs resumed against 32 checkpointed cells).
 bench-pr9:
 	$(GO) run ./cmd/inca-bench -o BENCH_PR9.json -pr 9
+
+# Observability-plane era baseline: everything above plus the
+# instrumentation overhead probe (traced + SLO-tracked + cost-attributed
+# sweeps vs bare ones).
+bench-pr10:
+	$(GO) run ./cmd/inca-bench -o BENCH_PR10.json -pr 10
 
 # Deterministic perf-regression gate: compares the two newest committed
 # BENCH_PR*.json baselines and fails on a >10% slowdown in any kernel
@@ -102,3 +108,12 @@ cluster-smoke:
 # resumed result byte-identical with the resume visible in /metrics.
 job-smoke:
 	GO=$(GO) sh scripts/job_smoke.sh
+
+# End-to-end smoke of the observability plane: boot a 3-shard cluster
+# with tracing, SLO objectives, and durable jobs; run a cost-attributed
+# sharded sweep and a SIGKILL-resumed job; require the federated trace
+# on the coordinator to carry shard-side spans, the usage ledger to
+# reconcile with the per-request cost blocks, and burn-rate families in
+# /metrics.
+obs-smoke:
+	GO=$(GO) sh scripts/obs_smoke.sh

@@ -5,9 +5,11 @@
 // layers that dominate the training experiments' wall clock, plus a
 // store warm-start probe timing disk-served replay against cold
 // recompute, a request-coalescing probe timing a thundering herd of
-// identical sweeps with the coalescer off versus on, and a job-resume
+// identical sweeps with the coalescer off versus on, a job-resume
 // probe timing a 64-cell async job from scratch versus resumed against
-// a store already holding half its cells.
+// a store already holding half its cells, and an observability-overhead
+// probe timing fully instrumented sweeps (tracing, SLO tracking, cost
+// attribution) against bare ones.
 //
 // Usage:
 //
@@ -37,6 +39,7 @@ import (
 	"github.com/inca-arch/inca/internal/fault"
 	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/obs"
 	"github.com/inca-arch/inca/internal/serve"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/store"
@@ -116,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if res, err := benchJobResume(*reps); err != nil {
 		fmt.Fprintln(stderr, "inca-bench: job resume benchmark:", err)
+		return 1
+	} else {
+		b.Kernels = append(b.Kernels, res)
+	}
+	if res, err := benchObsOverhead(*reps); err != nil {
+		fmt.Fprintln(stderr, "inca-bench: observability overhead benchmark:", err)
 		return 1
 	} else {
 		b.Kernels = append(b.Kernels, res)
@@ -464,6 +473,85 @@ func benchJobResume(reps int) (KernelResult, error) {
 		SerialNs:   cold.Nanoseconds(),
 		ParallelNs: resumed.Nanoseconds(),
 		Speedup:    float64(cold) / float64(resumed),
+	}, nil
+}
+
+// benchObsOverhead prices the observability plane: the same 8-cell
+// sweep served by a bare server (no tracer, no objectives, no cost
+// flag) versus a fully instrumented one (tracer ring, SLO burn-rate
+// tracking, ?cost=1 attribution on every request). "Serial" is the
+// bare wall clock and "parallel" the instrumented one — the gated
+// field — so the bench gate trips when the instrumented request path
+// regresses, and the speedup (bare/instrumented, < 1 by construction)
+// reads as the plane's price. Most requests are warm-cache replays, so
+// the probe prices instrumentation against the service's cheapest
+// request, its worst case. Requests run serially so it measures
+// per-request overhead, not contention; each mode gets a fresh server
+// (cold memo cache on the first request, warm on the rest — the same
+// mix both modes see).
+func benchObsOverhead(reps int) (KernelResult, error) {
+	const requests = 16
+	body := `{"archs":["inca","baseline"],"models":["LeNet5","VGG16-CIFAR"],"phases":["inference","training"]}`
+
+	drive := func(instrumented bool) (time.Duration, error) {
+		opt := serve.Options{}
+		path := "/v1/sweep"
+		if instrumented {
+			opt.Tracer = obs.NewTracer(obs.WithRing(4096))
+			opt.SLO = serve.SLOOptions{TargetP99: time.Second, ErrorBudget: 0.001}
+			path += "?cost=1"
+		}
+		s := serve.New(opt)
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+			if err != nil {
+				return 0, err
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				resp.Body.Close()
+				return 0, err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return 0, fmt.Errorf("sweep answered %d", resp.StatusCode)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	best := func(instrumented bool) (time.Duration, error) {
+		if _, err := drive(instrumented); err != nil { // warm-up run
+			return 0, err
+		}
+		fastest := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			d, err := drive(instrumented)
+			if err != nil {
+				return 0, err
+			}
+			if d < fastest {
+				fastest = d
+			}
+		}
+		return fastest, nil
+	}
+
+	off, err := best(false)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	on, err := best(true)
+	if err != nil {
+		return KernelResult{}, err
+	}
+	return KernelResult{
+		Name:       "ObsOverhead-16x8cells",
+		SerialNs:   off.Nanoseconds(),
+		ParallelNs: on.Nanoseconds(),
+		Speedup:    float64(off) / float64(on),
 	}, nil
 }
 

@@ -12,6 +12,8 @@
 //	simulate  -arch inca -model ResNet18 -phase inference [-batch N]
 //	sweep     -archs inca,baseline -models LeNet5 -phases inference,training
 //	job       durable async jobs: submit | status | wait | result | cancel | list
+//	trace     print one trace's federated tree, or list recent traces
+//	usage     fetch the server's cost-attribution rollup
 //	models    list the server's model zoo
 //	metrics   fetch the server's counter snapshot
 //	ready     probe /healthz/ready once (no retries); exit 0 when ready
@@ -66,7 +68,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the server-returned trace ID (X-Trace-Id) to stderr")
 	logLevel := cli.LogLevelFlag(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|job|models|metrics|ready} [flags]")
+		fmt.Fprintln(stderr, "usage: inca-client [flags] {simulate|sweep|job|trace|usage|models|metrics|ready} [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +119,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		out, err = c.Models(ctx)
 	case "metrics":
 		out, err = c.Metrics(ctx)
+	case "trace":
+		out, err = runTrace(ctx, c, rest, stdout, stderr)
+	case "usage":
+		out, err = c.Usage(ctx)
 	case "ready":
 		// A single unretried probe: scripts poll a booting (or cluster)
 		// node for readiness, and a retried probe would lie about it.
@@ -271,6 +277,37 @@ func runJob(ctx context.Context, c *inca.Client, args []string, stdout, stderr i
 	default:
 		fmt.Fprintf(stderr, "inca-client: unknown job verb %q\n", verb)
 		usage()
+		return nil, errUsage
+	}
+}
+
+// runTrace is the observability verb: with a trace ID it fetches the
+// federated assembly and prints the rendered tree (the server merges
+// cluster peers' spans, so on a coordinator the tree spans every node);
+// without one it prints the server's trace index as JSON.
+func runTrace(ctx context.Context, c *inca.Client, args []string, stdout, stderr io.Writer) (any, error) {
+	fs := flag.NewFlagSet("inca-client trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	limit := fs.Int("limit", 0, "max index rows when listing traces (0 = server default)")
+	asJSON := fs.Bool("json", false, "print the full span set as JSON instead of the rendered tree")
+	if err := fs.Parse(args); err != nil {
+		return nil, errUsage
+	}
+	switch fs.NArg() {
+	case 0:
+		return c.Traces(ctx, *limit)
+	case 1:
+		resp, err := c.Trace(ctx, fs.Arg(0))
+		if err != nil {
+			return nil, err
+		}
+		if *asJSON {
+			return resp, nil
+		}
+		fmt.Fprint(stdout, resp.Tree)
+		return nil, nil
+	default:
+		fmt.Fprintln(stderr, "usage: inca-client trace [-limit N] [-json] [trace-id]")
 		return nil, errUsage
 	}
 }

@@ -36,14 +36,25 @@
 //	GET  /v1/models              the network zoo
 //	GET  /v1/experiments         experiment index
 //	GET  /v1/experiments/{id}    one paper table/figure
-//	GET  /v1/trace/{id}          one trace from the in-memory ring
+//	GET  /v1/trace               trace index: one summary row per retained trace
+//	GET  /v1/trace/{id}          one trace, federated across cluster peers
+//	GET  /v1/shard/trace/{id}    this node's spans for one trace (coordinators call this)
+//	GET  /v1/usage               per-request cost rollup, keyed model x dataflow
 //	GET  /v1/store/stats         persistent result-store counters (with -store-dir)
 //	GET  /v1/store/export        result corpus as JSON lines
 //	POST /v1/store/import        merge an exported corpus
 //	GET  /debug/pprof/           runtime profiles (only with -pprof)
-//	GET  /healthz                liveness (also /healthz/live)
-//	GET  /healthz/ready          readiness — 503 once draining begins
+//	GET  /healthz                liveness (also /healthz/live; ?format=json adds build info)
+//	GET  /healthz/ready          readiness — 503 once draining begins; "degraded" on SLO fast burn
 //	GET  /metrics                counters, gauges, cache stats (JSON or Prometheus)
+//
+// With -slo-p99 (and optionally -slo-err) the server tracks multi-window
+// burn rates against the latency and error-budget objectives; burn
+// rates ride /metrics and /healthz/ready flips to "degraded" (still
+// 200) on a fast burn, before hard failure. POST /v1/simulate,
+// POST /v1/sweep, and GET /v1/jobs/{id} accept ?cost=1 (or
+// X-Inca-Cost: 1) to append a per-request cost-attribution block;
+// without the flag bodies are byte-identical to previous releases.
 package main
 
 import (
@@ -108,6 +119,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	coalesceWait := fs.Duration("coalesce-wait", 250*time.Millisecond, "coalescing window, measured from a flight's start")
 	warmFrom := fs.String("warm-from", "", "peer base URL to pull the result corpus from at boot (needs -store-dir)")
 	retryJitterSeed := fs.Int64("retry-jitter-seed", 1, "seed for Retry-After jitter on 503 responses (0 = exact hints, no jitter)")
+	sloP99 := fs.Duration("slo-p99", 0, "latency objective: the p99 target requests are measured against (0 = SLO tracking off)")
+	sloErr := fs.Float64("slo-err", 0.001, "error-budget objective: tolerated 5xx fraction for burn-rate math (needs -slo-p99)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -250,6 +263,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logger.Info("cluster coordinator mode", "peers", len(peerList))
 	}
 
+	// SLO tracking is armed only by -slo-p99: the error-budget default
+	// alone must not flip readiness into its structured body, which
+	// would surprise plain-text health probes.
+	var sloOpt serve.SLOOptions
+	if *sloP99 > 0 {
+		sloOpt = serve.SLOOptions{TargetP99: *sloP99, ErrorBudget: *sloErr}
+		logger.Info("slo tracking enabled", "p99", sloP99.String(), "error_budget", *sloErr)
+	}
+
 	svc := inca.NewService(inca.ServiceOptions{
 		MaxInflight:    *inflight,
 		QueueDepth:     *queue,
@@ -272,6 +294,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Sharder:         sharder,
 		ShardID:         *shardID,
 		RetryJitterSeed: *retryJitterSeed,
+		SLO:             sloOpt,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

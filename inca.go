@@ -48,6 +48,7 @@ import (
 	"github.com/inca-arch/inca/internal/metrics"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/place"
 	"github.com/inca-arch/inca/internal/rram"
 	"github.com/inca-arch/inca/internal/sched"
@@ -757,6 +758,27 @@ type (
 	ServiceModelInfo = serve.ModelInfo
 	// ServiceMetrics is the GET /metrics counter snapshot.
 	ServiceMetrics = serve.Snapshot
+	// ServiceSLOOptions configures burn-rate SLO tracking
+	// (ServiceOptions.SLO); the zero value disables it.
+	ServiceSLOOptions = serve.SLOOptions
+	// ServiceSLOStats is the tracker's snapshot: per-window burn rates
+	// and the ok/degraded classification, as served in /metrics and
+	// /healthz/ready.
+	ServiceSLOStats = serve.SLOStats
+	// ServiceUsageResponse is the GET /v1/usage payload: request/job
+	// totals plus the per-model×dataflow cost breakdown.
+	ServiceUsageResponse = serve.UsageResponse
+	// ServiceTraceResponse is the GET /v1/trace/{id} payload: the
+	// federated span set and its rendered tree.
+	ServiceTraceResponse = serve.TraceResponse
+	// ServiceTraceIndex is the GET /v1/trace payload: one summary row
+	// per retained trace, most recently active first.
+	ServiceTraceIndex = serve.TraceIndexResponse
+	// CostSummary is one request's (or job's) cost-attribution rollup:
+	// wall/CPU time, cell and cache counters, kernel deltas, and the
+	// simulated energy/latency totals. Servers append it to responses on
+	// the ?cost=1 opt-in.
+	CostSummary = cost.Summary
 )
 
 // NewService builds the HTTP simulation service. Mount Handler on any

@@ -1,0 +1,59 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"github.com/inca-arch/inca/internal/serve"
+)
+
+// Trace fetches one trace's federated assembly: the spans the server
+// retains locally merged with every cluster peer's contribution, plus
+// the rendered tree. On a coordinator the response covers the whole
+// cluster execution; on a single node it is the local ring's view.
+func (c *Client) Trace(ctx context.Context, id string) (*serve.TraceResponse, error) {
+	var resp serve.TraceResponse
+	if err := c.call(ctx, http.MethodGet, "/v1/trace/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Traces fetches the server's trace index: one summary row per
+// retained trace, most recently active first. limit <= 0 takes the
+// server default.
+func (c *Client) Traces(ctx context.Context, limit int) (*serve.TraceIndexResponse, error) {
+	path := "/v1/trace"
+	if limit > 0 {
+		path += fmt.Sprintf("?limit=%d", limit)
+	}
+	var resp serve.TraceIndexResponse
+	if err := c.call(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ShardTrace fetches the spans one peer retains for a trace — the
+// federation half of GET /v1/trace/{id}. The answer is strictly local
+// to the queried node (a shard never fans out in turn), and an unknown
+// trace is an empty span list, not an error.
+func (c *Client) ShardTrace(ctx context.Context, id string) (*serve.ShardTraceResponse, error) {
+	var resp serve.ShardTraceResponse
+	if err := c.call(ctx, http.MethodGet, "/v1/shard/trace/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Usage fetches the server's cost-attribution rollup: request and job
+// totals plus the per-model×dataflow breakdown.
+func (c *Client) Usage(ctx context.Context) (*serve.UsageResponse, error) {
+	var resp serve.UsageResponse
+	if err := c.call(ctx, http.MethodGet, "/v1/usage", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

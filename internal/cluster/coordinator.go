@@ -278,6 +278,43 @@ func (co *Coordinator) Health(ctx context.Context) []serve.PeerHealth {
 	return out
 }
 
+// FetchSpans pulls the spans every peer retained for one trace,
+// concurrently, each probe bounded by ProbeTimeout. A peer that is
+// down, breaker-open, or simply never saw the trace contributes
+// nothing — federated trace assembly is best-effort by design, and the
+// coordinator's own ring already holds the coordinating spans. serve's
+// GET /v1/trace/{id} discovers this method by interface assertion
+// (serve.SpanFetcher) and merges the result into its local ring.
+func (co *Coordinator) FetchSpans(ctx context.Context, traceID string) []obs.SpanData {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out []obs.SpanData
+	)
+	for _, peer := range co.Peers() {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, co.opt.ProbeTimeout)
+			defer cancel()
+			resp, err := co.clients[peer].ShardTrace(pctx, traceID)
+			if err != nil {
+				co.log.Warn("trace fetch failed", "peer", peer, "err", err.Error())
+				return
+			}
+			mu.Lock()
+			out = append(out, resp.Spans...)
+			mu.Unlock()
+		}(peer)
+	}
+	wg.Wait()
+	// Deterministic assembly order: peers answer concurrently, so sort
+	// by start time before handing the set to the merge (which keeps
+	// first occurrence on span-ID collisions).
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
 // BreakerTrips sums circuit-breaker trips across the per-peer dispatch
 // clients — how many times a dead shard stopped being probed at full
 // retry cost. Zero when Options.Client leaves the breaker unarmed.

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/serve"
+)
+
+// TestFederatedTraceAssembly is the observability plane's cluster e2e:
+// a sharded sweep leaves each shard's sweep-level spans in that shard's
+// local ring only, and GET /v1/trace/{id} on the coordinator pulls them
+// all back over GET /v1/shard/trace/{id}, dedupes by span identity, and
+// renders one cross-node tree.
+func TestFederatedTraceAssembly(t *testing.T) {
+	shardTracers := make([]*obs.Tracer, 3)
+	urls := make([]string, 3)
+	for i := range urls {
+		shardTracers[i] = obs.NewTracer(obs.WithRing(512))
+		_, ts := newShard(t, shardName(i), shardTracers[i])
+		urls[i] = ts.URL
+	}
+
+	co, err := New(Options{Peers: urls, Client: fastClient()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordTracer := obs.NewTracer(obs.WithRing(1024))
+	coord := serve.New(serve.Options{Sharder: co, ShardID: "coord", Tracer: coordTracer})
+	coordTS := httptest.NewServer(coord.Handler())
+	t.Cleanup(coordTS.Close)
+
+	resp, err := http.Post(coordTS.URL+"/v1/sweep", "application/json", strings.NewReader(e2eBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep failed: %s", raw)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no trace ID on the sweep response")
+	}
+
+	// The coordinator's own ring does not hold the shards' cell spans —
+	// that's exactly the gap federation closes.
+	localSpans := coordTracer.Ring().Trace(traceID)
+	for _, sp := range localSpans {
+		if sp.Name == "sweep/cell" {
+			t.Fatalf("coordinator ring unexpectedly holds a shard-side span: %+v", sp)
+		}
+	}
+
+	// Unit exchange: each shard serves its slice of the trace raw.
+	shardSpans := 0
+	for i, u := range urls {
+		sresp, err := http.Get(u + "/v1/shard/trace/" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr serve.ShardTraceResponse
+		if err := json.Unmarshal(readBody(t, sresp), &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d trace answered %d", i, sresp.StatusCode)
+		}
+		if sr.ShardID != shardName(i) {
+			t.Fatalf("shard trace names %q, want %q", sr.ShardID, shardName(i))
+		}
+		shardSpans += len(sr.Spans)
+	}
+	if shardSpans == 0 {
+		t.Fatal("no shard retained any span of the coordinator's trace")
+	}
+
+	// Federated assembly: the coordinator's trace endpoint merges all of
+	// the above into one response.
+	fresp, err := http.Get(coordTS.URL + "/v1/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fraw := readBody(t, fresp)
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("federated trace answered %d: %s", fresp.StatusCode, fraw)
+	}
+	var tr serve.TraceResponse
+	if err := json.Unmarshal(fraw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != traceID {
+		t.Fatalf("trace_id = %q, want %q", tr.TraceID, traceID)
+	}
+	if len(tr.Spans) <= len(localSpans) {
+		t.Fatalf("federated trace has %d spans, local ring alone has %d — no remote spans merged",
+			len(tr.Spans), len(localSpans))
+	}
+
+	// Every span belongs to the trace, and span identity is unique after
+	// the dedup merge.
+	seen := map[string]bool{}
+	names := map[string]int{}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("merged span from another trace: %+v", sp)
+		}
+		if seen[sp.SpanID] {
+			t.Fatalf("duplicate span %s survived the merge", sp.SpanID)
+		}
+		seen[sp.SpanID] = true
+		names[sp.Name]++
+	}
+	if names[SpanDispatch] == 0 {
+		t.Fatal("federated trace lost the coordinator's dispatch spans")
+	}
+	if names["sweep/cell"] == 0 {
+		t.Fatal("federated trace carries no shard-side cell spans")
+	}
+
+	// The rendered tree shows both sides of the cluster in one view.
+	for _, want := range []string{SpanDispatch, "sweep/cell"} {
+		if !strings.Contains(tr.Tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tr.Tree)
+		}
+	}
+
+	// A shard (no Sharder configured) answers its local slice on
+	// /v1/trace/{id} without fanning out.
+	sresp, err := http.Get(urls[0] + "/v1/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, sresp)
+	if sresp.StatusCode != http.StatusOK && sresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("shard-local trace answered %d: %s", sresp.StatusCode, body)
+	}
+}

@@ -113,6 +113,7 @@ type Job struct {
 	traceID  string
 	spanID   string
 	body     []byte
+	cost     []byte
 	errMsg   string
 
 	cancel          context.CancelFunc
@@ -192,6 +193,21 @@ func (j *Job) SetTrace(traceID, spanID string) {
 	}
 	j.traceID, j.spanID = traceID, spanID
 	j.m.appendLocked(jrecord{Op: opTrace, ID: j.id, TraceID: traceID, SpanID: spanID})
+}
+
+// SetCost journals the run's cost summary — an opaque JSON document
+// the serve layer both produces and consumes, so the job table stays
+// ignorant of its shape. Each run overwrites the previous value: after
+// a crash-and-resume the journaled summary is the final attempt's, the
+// one whose cells produced the served result body.
+func (j *Job) SetCost(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	j.cost = b
+	j.m.appendLocked(jrecord{Op: opCost, ID: j.id, Cost: string(b)})
 }
 
 // snapshotLocked copies the observable state; callers hold m.mu.
@@ -329,6 +345,8 @@ func (m *Manager) replay(recs []jrecord) {
 			j.traceID, j.spanID = rec.TraceID, rec.SpanID
 		case opProgress:
 			j.total, j.done = rec.Total, rec.Done
+		case opCost:
+			j.cost = []byte(rec.Cost)
 		case opDone:
 			j.state = rec.State
 			j.body = []byte(rec.Body)
@@ -434,6 +452,19 @@ func (m *Manager) Result(id string) ([]byte, Snapshot, bool) {
 		return nil, Snapshot{}, false
 	}
 	return j.body, j.snapshotLocked(), true
+}
+
+// Cost returns a job's journaled cost summary: the opaque JSON document
+// the executor stored with SetCost, or false while no run has recorded
+// one yet.
+func (m *Manager) Cost(id string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || len(j.cost) == 0 {
+		return nil, false
+	}
+	return j.cost, true
 }
 
 // Cancel requests cooperative cancellation: a queued job turns terminal

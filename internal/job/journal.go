@@ -38,6 +38,7 @@ const (
 	opResume   = "resume"   // a restarted manager requeued the job
 	opTrace    = "trace"    // the job's root span identity (first run)
 	opProgress = "progress" // checkpoint: cells total/done so far
+	opCost     = "cost"     // the run's cost summary (JSON), latest wins
 	opDone     = "done"     // terminal: state, result body or error
 )
 
@@ -59,6 +60,7 @@ type jrecord struct {
 	TraceID string `json:"trace_id,omitempty"`
 	SpanID  string `json:"span_id,omitempty"`
 	Body    string `json:"body,omitempty"`
+	Cost    string `json:"cost,omitempty"`
 	Error   string `json:"error,omitempty"`
 }
 

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package cost
+
+// cpuSeconds is unavailable off unix; the cpu_s cost field reads 0
+// there rather than gating the build on a platform API.
+func cpuSeconds() float64 { return 0 }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package cost
+
+import "syscall"
+
+// cpuSeconds reads the process's cumulative CPU time (user + system)
+// via getrusage. Per-request CPU cost is the delta across the tally's
+// lifetime; the counter is process-wide, so concurrent requests each
+// observe the shared burn (documented attribution semantics, not a
+// bug).
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

@@ -15,7 +15,40 @@ func Dump(r *Ring, traceID string) string {
 	if r == nil {
 		return ""
 	}
-	spans := r.Trace(traceID)
+	return DumpSpans(r.Trace(traceID), traceID)
+}
+
+// MergeSpans combines span sets from multiple sources (the local ring
+// plus each peer's /v1/shard/trace answer) into one set, deduplicated
+// by (trace ID, span ID) with the first occurrence winning. Input order
+// is preserved; DumpSpans re-sorts structurally anyway.
+func MergeSpans(sets ...[]SpanData) []SpanData {
+	var out []SpanData
+	seen := make(map[string]bool)
+	for _, set := range sets {
+		for _, sd := range set {
+			key := sd.TraceID + "/" + sd.SpanID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// DumpSpans renders one trace from an explicit span set — the federated
+// sibling of Dump, fed by MergeSpans when a coordinator assembles a
+// cross-node trace. Spans of other traces are ignored; an empty
+// selection renders as an empty string.
+func DumpSpans(all []SpanData, traceID string) string {
+	var spans []SpanData
+	for _, sd := range all {
+		if sd.TraceID == traceID {
+			spans = append(spans, sd)
+		}
+	}
 	if len(spans) == 0 {
 		return ""
 	}

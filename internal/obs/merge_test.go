@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func span(trace, id, parent, name string, start int64) SpanData {
+	base := time.Unix(0, 0)
+	return SpanData{
+		TraceID: trace, SpanID: id, ParentID: parent, Name: name,
+		Start: base.Add(time.Duration(start) * time.Millisecond),
+		End:   base.Add(time.Duration(start+1) * time.Millisecond),
+	}
+}
+
+// TestRingEvicted pins the eviction counter: total emitted minus
+// retained, the source of inca_trace_ring_evicted_total.
+func TestRingEvicted(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(span("t", "s", "", "x", int64(i)))
+	}
+	if got := r.Evicted(); got != 6 {
+		t.Fatalf("Evicted() = %d, want 6 (10 emitted into capacity 4)", got)
+	}
+	if r.Len() != 4 || r.Total() != 10 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+}
+
+// TestMergeSpans pins federation dedup: span identity is trace+span ID,
+// the first occurrence wins, insertion order is preserved, and spans of
+// other traces survive the merge untouched.
+func TestMergeSpans(t *testing.T) {
+	local := []SpanData{
+		span("t1", "a", "", "root", 0),
+		span("t1", "b", "a", "child", 1),
+	}
+	remote := []SpanData{
+		span("t1", "b", "a", "child-dup", 1), // duplicate ID: dropped
+		span("t1", "c", "a", "remote", 2),
+		span("t2", "b", "", "other-trace", 3), // same span ID, different trace: kept
+	}
+	merged := MergeSpans(local, remote)
+	if len(merged) != 4 {
+		t.Fatalf("merged %d spans, want 4: %+v", len(merged), merged)
+	}
+	wantNames := []string{"root", "child", "remote", "other-trace"}
+	for i, want := range wantNames {
+		if merged[i].Name != want {
+			t.Fatalf("merged[%d] = %q, want %q", i, merged[i].Name, want)
+		}
+	}
+}
+
+// TestDumpSpansTree pins the federated renderer: children indent under
+// parents, spans whose parent the set does not retain render as roots
+// (a shard's subtree whose coordinator span lives elsewhere), and other
+// traces are filtered out.
+func TestDumpSpansTree(t *testing.T) {
+	spans := []SpanData{
+		span("t1", "a", "", "serve/request", 0),
+		span("t1", "b", "a", "cluster/dispatch", 1),
+		span("t1", "d", "missing", "orphan/subtree", 2),
+		span("t9", "z", "", "unrelated", 3),
+	}
+	tree := DumpSpans(spans, "t1")
+	if !strings.HasPrefix(tree, "trace t1 (3 spans)") {
+		t.Fatalf("header wrong:\n%s", tree)
+	}
+	if strings.Contains(tree, "unrelated") {
+		t.Fatalf("tree leaked another trace:\n%s", tree)
+	}
+	for _, want := range []string{"serve/request", "cluster/dispatch", "orphan/subtree"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// The dispatch child indents deeper than its root; the orphan
+	// renders at the same depth as the root.
+	indent := func(name string) int {
+		for _, line := range strings.Split(tree, "\n") {
+			if strings.Contains(line, name) {
+				return len(line) - len(strings.TrimLeft(line, " "))
+			}
+		}
+		t.Fatalf("no line for %q:\n%s", name, tree)
+		return -1
+	}
+	root, child, orphan := indent("serve/request"), indent("cluster/dispatch"), indent("orphan/subtree")
+	if child <= root {
+		t.Fatalf("child indent %d not deeper than root %d:\n%s", child, root, tree)
+	}
+	if orphan != root {
+		t.Fatalf("orphan indent %d, want root level %d:\n%s", orphan, root, tree)
+	}
+}

@@ -57,6 +57,16 @@ func (r *Ring) Total() int64 {
 	return r.total
 }
 
+// Evicted reports how many spans the ring has dropped to make room —
+// the observable half of the bounded-retention tradeoff, exported as
+// inca_trace_ring_evicted_total so silent span loss shows up on a
+// dashboard instead of as a mysteriously truncated trace.
+func (r *Ring) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - int64(r.count)
+}
+
 // Spans returns the retained spans, oldest first.
 func (r *Ring) Spans() []SpanData {
 	r.mu.Lock()

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"github.com/inca-arch/inca/internal/obs/cost"
 )
 
 // CoalesceOptions configures the request-coalescing layer: identical
@@ -136,6 +138,11 @@ func coalesceKey(r *http.Request, body any) (string, bool) {
 	if wantsCSV(r) {
 		format = "csv"
 	}
+	if wantsCost(r) {
+		// A cost-opted caller must never replay a recording without the
+		// cost block (or vice versa): the flag is part of the shape.
+		format += "+cost"
+	}
 	sum := sha256.Sum256(canon)
 	return r.URL.Path + "|" + format + "|" + hex.EncodeToString(sum[:]), true
 }
@@ -176,6 +183,7 @@ func (s *Server) coalesced(w http.ResponseWriter, r *http.Request, body any, exe
 			f.rec.replay(w)
 			s.cache.AddCoalesced(1)
 			s.metrics.coalesced.Add(1)
+			cost.FromContext(r.Context()).CoalescedHit()
 		case <-r.Context().Done():
 			// The joiner gave up before the flight landed: it received
 			// nothing and answers with its own context error.

@@ -9,6 +9,7 @@ import (
 
 	"github.com/inca-arch/inca/internal/arch"
 	"github.com/inca-arch/inca/internal/dataflow"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tune"
@@ -225,6 +226,52 @@ func wantsCSV(r *http.Request) bool {
 		return true
 	}
 	return strings.Contains(r.Header.Get("Accept"), "text/csv")
+}
+
+// costHeader is the header form of the cost opt-in (?cost=1 works too).
+const costHeader = "X-Inca-Cost"
+
+// wantsCost reports whether the caller opted into the "cost" block on
+// /v1/simulate, /v1/sweep, and /v1/jobs/{id} responses. Opt-in keeps
+// the default bodies byte-identical to earlier releases — the golden-
+// body and cluster byte-identity guarantees survive the cost plane.
+func wantsCost(r *http.Request) bool {
+	if v := r.URL.Query().Get("cost"); v == "1" || v == "true" {
+		return true
+	}
+	v := r.Header.Get(costHeader)
+	return v == "1" || v == "true"
+}
+
+// writeJSONCost writes v as writeJSON would, with the cost summary
+// spliced in as a top-level "cost" member. Splicing (rather than a
+// struct field) works for any object-shaped payload — including
+// sim.Report, whose stable custom encoding cannot grow fields — and
+// guarantees the non-cost rendering stays byte-identical.
+func (s *Server) writeJSONCost(w http.ResponseWriter, status int, v any, sum cost.Summary) {
+	body, err := json.Marshal(v)
+	if err != nil || len(body) == 0 || body[len(body)-1] != '}' {
+		s.writeJSON(w, status, v)
+		return
+	}
+	costJSON, err := json.Marshal(sum)
+	if err != nil {
+		s.writeJSON(w, status, v)
+		return
+	}
+	buf := make([]byte, 0, len(body)+len(costJSON)+12)
+	buf = append(buf, body[:len(body)-1]...)
+	if len(body) > 2 { // non-empty object needs the separating comma
+		buf = append(buf, ',')
+	}
+	buf = append(buf, `"cost":`...)
+	buf = append(buf, costJSON...)
+	buf = append(buf, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf); err != nil {
+		s.log.Error("writing response", "err", err)
+	}
 }
 
 // parsePhase maps the wire name onto the simulation phase.

@@ -15,6 +15,7 @@ import (
 	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
@@ -115,6 +116,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.admitted(w, r, func(ctx context.Context) {
 			plan := sweep.Plan{Archs: []sweep.Arch{ax}, Networks: []*nn.Network{net}, Phases: []sim.Phase{phase}}
 			results, err := sweep.Run(ctx, plan, s.sweepOptions(1))
+			tally := cost.FromContext(ctx)
+			if err == nil {
+				s.accountResults(tally, results)
+			}
 			if err == nil && results[0].Err != nil {
 				err = results[0].Err
 			}
@@ -128,6 +133,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 				if err := rep.WriteCSV(w); err != nil {
 					s.log.Error("writing csv", "err", err)
 				}
+				return
+			}
+			if wantsCost(r) {
+				s.writeJSONCost(w, http.StatusOK, rep, tally.Snapshot())
 				return
 			}
 			s.writeJSON(w, http.StatusOK, rep)
@@ -221,10 +230,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				s.writeError(w, statusForRunErr(err), err)
 				return
 			}
+			// Attribute the materialized results — local or shard-
+			// gathered — to this request's cost tally; the tally's cell
+			// counts and energy sums match the response's cells exactly.
+			tally := cost.FromContext(ctx)
+			s.accountResults(tally, results)
 			resp := s.sweepSummary(results, newStyle)
 			resp.Shard = shard
 			if wantsCSV(r) {
 				s.writeSweepCSV(w, resp)
+				return
+			}
+			if wantsCost(r) {
+				s.writeJSONCost(w, http.StatusOK, resp, tally.Snapshot())
 				return
 			}
 			s.writeJSON(w, http.StatusOK, resp)
@@ -407,11 +425,29 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// livenessResponse is the JSON form of the liveness probe, served only
+// on request (?format=json or Accept: application/json) — the default
+// plain-text "ok" body is a contract probes and smoke tests compare
+// byte for byte.
+type livenessResponse struct {
+	Status string    `json:"status"`
+	Build  BuildInfo `json:"build"`
+}
+
 // handleLiveness is the liveness probe (/healthz and /healthz/live):
 // the process is up and routing. It stays 200 through a graceful drain —
 // a draining server is shutting down cleanly, not dead, and must not be
-// restarted by its supervisor mid-drain.
-func (s *Server) handleLiveness(w http.ResponseWriter, _ *http.Request) {
+// restarted by its supervisor mid-drain. The build version always rides
+// the X-Inca-Version header; the full build-info block is negotiated
+// via ?format=json or Accept: application/json.
+func (s *Server) handleLiveness(w http.ResponseWriter, r *http.Request) {
+	build := buildInfo()
+	w.Header().Set("X-Inca-Version", build.Version)
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.writeJSON(w, http.StatusOK, livenessResponse{Status: "ok", Build: build})
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }
@@ -426,6 +462,10 @@ type readinessResponse struct {
 	ShardID string       `json:"shard_id,omitempty"`
 	Peers   []PeerHealth `json:"peers,omitempty"`
 	Jobs    *job.Stats   `json:"jobs,omitempty"`
+	// SLO carries the burn-rate tracker's verdict when objectives are
+	// configured; a fast burn degrades Status without turning traffic
+	// away (degraded is still 200 — the signal fires before failure).
+	SLO *SLOStats `json:"slo,omitempty"`
 }
 
 // handleReadiness is the readiness probe (/healthz/ready): 200 while the
@@ -441,7 +481,7 @@ func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sh := s.opt.Sharder
-	if sh == nil && s.opt.Jobs == nil {
+	if sh == nil && s.opt.Jobs == nil && s.slo == nil {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 		return
@@ -450,6 +490,15 @@ func (s *Server) handleReadiness(w http.ResponseWriter, r *http.Request) {
 	if jm := s.opt.Jobs; jm != nil {
 		stats := jm.Stats()
 		resp.Jobs = &stats
+	}
+	if s.slo != nil {
+		stats := s.slo.stats()
+		resp.SLO = &stats
+		if stats.Status == "degraded" {
+			// Burning the budget fast: still serving (200), but the
+			// status tells balancers and operators before hard failure.
+			resp.Status = "degraded"
+		}
 	}
 	if sh == nil {
 		s.writeJSON(w, http.StatusOK, resp)
@@ -492,18 +541,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, snap)
 }
 
-// traceResponse is the /v1/trace/{id} payload: every retained span of
-// one trace (oldest-first) plus a rendered tree for human eyes.
-type traceResponse struct {
+// TraceResponse is the /v1/trace/{id} payload: every known span of one
+// trace plus a rendered tree for human eyes. On a coordinator the span
+// set is federated — the local ring merged with every peer's
+// /v1/shard/trace answer — so a sharded sweep or a resumed job reads
+// as a single cross-node trace.
+type TraceResponse struct {
 	TraceID string         `json:"trace_id"`
 	Spans   []obs.SpanData `json:"spans"`
 	Tree    string         `json:"tree"`
 }
 
-// handleTrace serves one trace from the tracer's in-memory ring: the
-// span list as JSON, or the rendered tree as text with ?format=text.
-// 404 covers both an unknown (or already-evicted) trace ID and a server
-// running with tracing disabled.
+// SpanFetcher is the optional capability a Sharder grows to join the
+// federated trace plane: given a trace ID, return every span the
+// cluster's peers retain for it. The internal/cluster coordinator
+// implements it by fanning GET /v1/shard/trace/{id} out through its
+// breaker-gated dispatch clients; the serve layer discovers it by type
+// assertion so the Sharder seam itself stays minimal.
+type SpanFetcher interface {
+	FetchSpans(ctx context.Context, traceID string) []obs.SpanData
+}
+
+// handleTrace serves one trace: the local ring's spans, merged — on a
+// coordinator whose Sharder can fetch peer spans — with every shard's
+// view of the same trace ID, deduplicated by span ID. The span list is
+// JSON; ?format=text renders the assembled tree. 404 covers a trace
+// unknown everywhere and a server running with tracing disabled.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	t := s.opt.Tracer
 	if t == nil || t.Ring() == nil {
@@ -512,14 +575,155 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	id := r.PathValue("id")
 	spans := t.Ring().Trace(id)
+	if f, ok := s.opt.Sharder.(SpanFetcher); ok {
+		spans = obs.MergeSpans(spans, f.FetchSpans(r.Context(), id))
+	}
 	if len(spans) == 0 {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not found (unknown ID or evicted from the ring)", id))
 		return
 	}
+	tree := obs.DumpSpans(spans, id)
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, obs.Dump(t.Ring(), id))
+		io.WriteString(w, tree)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, traceResponse{TraceID: id, Spans: spans, Tree: obs.Dump(t.Ring(), id)})
+	s.writeJSON(w, http.StatusOK, TraceResponse{TraceID: id, Spans: spans, Tree: tree})
+}
+
+// ShardTraceResponse is the /v1/shard/trace/{id} payload: one node's
+// retained spans for a trace, raw — the federation protocol's unit of
+// exchange. An empty span list is a 200, not a 404: "this node knows
+// nothing" is a normal answer during assembly.
+type ShardTraceResponse struct {
+	ShardID string         `json:"shard_id,omitempty"`
+	Spans   []obs.SpanData `json:"spans"`
+}
+
+// handleShardTrace serves this node's local-ring spans for one trace to
+// a federating coordinator. Unlike /v1/trace/{id} it never federates
+// itself (no fan-out loops) and answers 200 with an empty list for an
+// unknown trace; 404 only means tracing is disabled here.
+func (s *Server) handleShardTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.opt.Tracer
+	if t == nil || t.Ring() == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("tracing is not enabled on this server"))
+		return
+	}
+	id := r.PathValue("id")
+	spans := t.Ring().Trace(id)
+	if spans == nil {
+		spans = []obs.SpanData{}
+	}
+	s.writeJSON(w, http.StatusOK, ShardTraceResponse{ShardID: s.opt.ShardID, Spans: spans})
+}
+
+// TraceInfo is one GET /v1/trace index entry, summarizing a trace the
+// ring currently retains.
+type TraceInfo struct {
+	TraceID string `json:"trace_id"`
+	// Root is the name of the trace's root span — or, when the true
+	// root was evicted or lives on another node, the earliest retained
+	// orphan.
+	Root string `json:"root"`
+	// Status is "error" when any retained span of the trace carries an
+	// error or panic attribute, else "ok".
+	Status string `json:"status"`
+	Spans  int    `json:"spans"`
+	// DurationS spans the earliest retained start to the latest end.
+	DurationS float64 `json:"duration_s"`
+}
+
+// TraceIndexResponse is the GET /v1/trace payload.
+type TraceIndexResponse struct {
+	Traces []TraceInfo `json:"traces"`
+	// Retained/Evicted expose the ring's bounded-retention state: a
+	// nonzero Evicted means older traces have been partially or fully
+	// dropped.
+	Retained int   `json:"retained"`
+	Evicted  int64 `json:"evicted"`
+}
+
+// handleTraceIndex lists recent traces from the local ring, newest
+// first, capped by ?limit= (default 50). Local-only by design: the
+// index is a discovery surface; federation happens per trace ID.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	t := s.opt.Tracer
+	if t == nil || t.Ring() == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("tracing is not enabled on this server"))
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
+			return
+		}
+		limit = n
+	}
+	ring := t.Ring()
+	spans := ring.Spans() // oldest first
+	byTrace := make(map[string][]obs.SpanData, len(spans))
+	order := make([]string, 0, len(spans)) // traces by last-seen span, oldest first
+	for _, sd := range spans {
+		if _, seen := byTrace[sd.TraceID]; seen {
+			// Move to the back: the index sorts by most recent activity.
+			for i, id := range order {
+				if id == sd.TraceID {
+					order = append(append(order[:i:i], order[i+1:]...), id)
+					break
+				}
+			}
+		} else {
+			order = append(order, sd.TraceID)
+		}
+		byTrace[sd.TraceID] = append(byTrace[sd.TraceID], sd)
+	}
+	resp := TraceIndexResponse{Traces: []TraceInfo{}, Retained: ring.Len(), Evicted: ring.Evicted()}
+	for i := len(order) - 1; i >= 0 && len(resp.Traces) < limit; i-- {
+		resp.Traces = append(resp.Traces, summarizeTrace(order[i], byTrace[order[i]]))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// summarizeTrace folds one trace's retained spans into its index row.
+func summarizeTrace(id string, spans []obs.SpanData) TraceInfo {
+	info := TraceInfo{TraceID: id, Status: "ok", Spans: len(spans)}
+	known := make(map[string]bool, len(spans))
+	for _, sd := range spans {
+		known[sd.SpanID] = true
+	}
+	var rootAt, minStart, maxEnd int64
+	for _, sd := range spans {
+		if _, ok := sd.Attr("error"); ok {
+			info.Status = "error"
+		} else if _, ok := sd.Attr("panic"); ok {
+			info.Status = "error"
+		}
+		start, end := sd.Start.UnixNano(), sd.End.UnixNano()
+		if minStart == 0 || start < minStart {
+			minStart = start
+		}
+		if end > maxEnd {
+			maxEnd = end
+		}
+		// Root: the earliest-started span without a retained parent.
+		if sd.ParentID == "" || !known[sd.ParentID] {
+			if info.Root == "" || start < rootAt {
+				info.Root, rootAt = sd.Name, start
+			}
+		}
+	}
+	if maxEnd > minStart {
+		info.DurationS = float64(maxEnd-minStart) / 1e9
+	}
+	return info
+}
+
+// handleUsage serves the server-lifetime cost ledger: the sum of every
+// finalized per-request/per-job cost summary plus the per
+// model×dataflow cell-attribution rows.
+func (s *Server) handleUsage(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.usage.snapshot())
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/inca-arch/inca/internal/job"
 	"github.com/inca-arch/inca/internal/nn"
 	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/sweep"
 	"github.com/inca-arch/inca/internal/tune"
@@ -249,6 +250,18 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", job.ErrUnknownJob, id))
 		return
 	}
+	// The job's cost summary — journaled when an execution finalizes —
+	// is spliced in only on opt-in, keeping the default snapshot body
+	// byte-identical across releases.
+	if wantsCost(r) {
+		if b, ok := jm.Cost(id); ok {
+			var sum cost.Summary
+			if json.Unmarshal(b, &sum) == nil {
+				s.writeJSONCost(w, http.StatusOK, snap, sum)
+				return
+			}
+		}
+	}
 	s.writeJSON(w, http.StatusOK, snap)
 }
 
@@ -351,6 +364,18 @@ func (s *Server) execJob(ctx context.Context, j *job.Job) (body []byte, err erro
 			err = fmt.Errorf("%w: %v", sweep.ErrEvalPanic, rec)
 		}
 	}()
+	// A job execution gets its own cost tally — the runner context is
+	// detached from any HTTP request. The finalized summary is
+	// journaled on the job (survives restarts, served by
+	// GET /v1/jobs/{id}?cost=1) and folded into the usage ledger.
+	ctx, tally := cost.NewContext(ctx)
+	defer func() {
+		sum := tally.Snapshot()
+		s.usage.addTotals(sum, true)
+		if b, jerr := json.Marshal(sum); jerr == nil {
+			j.SetCost(b)
+		}
+	}()
 	if t := s.opt.Tracer; t != nil {
 		if tid, sid := j.Trace(); tid != "" {
 			// Resumed run: rebuild the journaled root as a remote parent so
@@ -398,6 +423,7 @@ func (s *Server) execJob(ctx context.Context, j *job.Job) (body []byte, err erro
 	if err != nil {
 		return nil, err
 	}
+	s.accountResults(cost.FromContext(ctx), results)
 	return marshalJobResult(s.jobResult(j.ID(), results, cs.newStyle))
 }
 

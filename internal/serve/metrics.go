@@ -4,10 +4,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/job"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/store"
 	"github.com/inca-arch/inca/internal/suite"
 	"github.com/inca-arch/inca/internal/sweep"
@@ -127,6 +131,33 @@ func readRuntimeStats() RuntimeStats {
 	}
 }
 
+// BuildInfo identifies the running binary: the module version when the
+// binary was built from a tagged module ("dev" otherwise), the Go
+// toolchain, and the registered dataflow backends. Served in /metrics
+// (JSON and inca_build_info), and by /healthz/live on request.
+type BuildInfo struct {
+	Version   string   `json:"version"`
+	Go        string   `json:"go"`
+	Dataflows []string `json:"dataflows"`
+}
+
+func buildInfo() BuildInfo {
+	v := "dev"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		v = bi.Main.Version
+	}
+	return BuildInfo{Version: v, Go: runtime.Version(), Dataflows: dataflow.IDs()}
+}
+
+// CostTotals is the server-lifetime cost ledger in /metrics: how many
+// requests/jobs were finalized and the field-by-field sum of their
+// cost summaries.
+type CostTotals struct {
+	Requests int64 `json:"requests"`
+	Jobs     int64 `json:"jobs"`
+	cost.Summary
+}
+
 // Snapshot is the /metrics payload.
 type Snapshot struct {
 	UptimeS  float64 `json:"uptime_s"`
@@ -167,9 +198,24 @@ type Snapshot struct {
 	// stats hook is installed — cmd/inca-serve installs one at startup).
 	Kernels tensor.StatsSnapshot `json:"kernels"`
 	// TraceSpans counts spans retained in / emitted through the tracer's
-	// ring; both zero when tracing is disabled.
+	// ring; both zero when tracing is disabled. TraceEvicted counts
+	// spans the bounded ring dropped to make room — nonzero means
+	// GET /v1/trace answers may be missing their oldest spans.
 	TraceSpans      int   `json:"trace_spans"`
 	TraceSpansTotal int64 `json:"trace_spans_total"`
+	TraceEvicted    int64 `json:"trace_spans_evicted_total"`
+	// Build identifies the binary (also inca_build_info in the
+	// Prometheus rendering).
+	Build BuildInfo `json:"build"`
+	// Cost is the lifetime sum of per-request/per-job cost summaries
+	// (see GET /v1/usage for the per-model attribution rows).
+	Cost CostTotals `json:"cost"`
+	// SLO carries the burn-rate tracker's windows; omitted unless
+	// objectives are configured (-slo-p99 / -slo-err).
+	SLO *SLOStats `json:"slo,omitempty"`
+	// costRows feeds the labeled inca_cost_model_* Prometheus families
+	// without bloating the JSON body (GET /v1/usage serves the rows).
+	costRows []UsageRow
 }
 
 // snapshot collects every counter. Each field is individually exact; the
@@ -222,9 +268,25 @@ func (s *Server) snapshot() Snapshot {
 		if ring := t.Ring(); ring != nil {
 			snap.TraceSpans = ring.Len()
 			snap.TraceSpansTotal = ring.Total()
+			snap.TraceEvicted = ring.Evicted()
 		}
 	}
+	snap.Build = buildInfo()
+	usage := s.usage.snapshot()
+	snap.Cost = CostTotals{Requests: usage.Requests, Jobs: usage.Jobs, Summary: usage.Totals}
+	snap.costRows = usage.Rows
+	if s.slo != nil {
+		stats := s.slo.stats()
+		snap.SLO = &stats
+	}
 	return snap
+}
+
+// escapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // writePrometheus renders the snapshot in the Prometheus text exposition
@@ -315,5 +377,55 @@ func writePrometheus(w io.Writer, snap Snapshot) error {
 
 	scalar("inca_trace_spans", "gauge", "Spans retained in the trace ring.", snap.TraceSpans)
 	scalar("inca_trace_spans_total", "counter", "Spans emitted through the trace ring.", snap.TraceSpansTotal)
+	scalar("inca_trace_ring_evicted_total", "counter", "Spans dropped from the bounded trace ring to make room.", snap.TraceEvicted)
+
+	p("# HELP inca_build_info Build metadata; the value is always 1.\n# TYPE inca_build_info gauge\n")
+	p("inca_build_info{version=\"%s\",go=\"%s\",dataflows=\"%s\"} 1\n",
+		escapeLabel(snap.Build.Version), escapeLabel(snap.Build.Go),
+		escapeLabel(strings.Join(snap.Build.Dataflows, ",")))
+
+	scalar("inca_cost_requests_total", "counter", "HTTP requests finalized by the cost accountant.", snap.Cost.Requests)
+	scalar("inca_cost_jobs_total", "counter", "Background job executions finalized by the cost accountant.", snap.Cost.Jobs)
+	scalar("inca_cost_cells_total", "counter", "Simulation cells attributed across all requests and jobs.", snap.Cost.Cells)
+	scalar("inca_cost_cached_cells_total", "counter", "Attributed cells served from cache tiers.", snap.Cost.CachedCells)
+	scalar("inca_cost_failed_cells_total", "counter", "Attributed cells that failed evaluation.", snap.Cost.FailedCells)
+	scalar("inca_cost_attempts_total", "counter", "Engine evaluation attempts attributed across all requests.", snap.Cost.Attempts)
+	scalar("inca_cost_retries_total", "counter", "Evaluation attempts beyond each cell's first.", snap.Cost.Retries)
+	scalar("inca_cost_coalesced_hits_total", "counter", "Coalesced replays attributed to joiner requests.", snap.Cost.CoalescedHits)
+	scalar("inca_cost_wall_seconds_total", "counter", "Wall-clock seconds summed over attributed requests and jobs.", snap.Cost.WallS)
+	scalar("inca_cost_cpu_seconds_total", "counter", "Process CPU seconds attributed at request boundaries.", snap.Cost.CPUS)
+	scalar("inca_cost_kernel_invocations_total", "counter", "Tensor-kernel invocations attributed at request boundaries.", snap.Cost.KernelInvocations)
+	scalar("inca_cost_kernel_chunks_total", "counter", "Tensor-kernel chunks attributed at request boundaries.", snap.Cost.KernelChunks)
+	scalar("inca_cost_sim_energy_joules_total", "counter", "Modeled accelerator energy summed over attributed cells.", snap.Cost.SimEnergyJ)
+	scalar("inca_cost_sim_latency_seconds_total", "counter", "Modeled accelerator latency summed over attributed cells.", snap.Cost.SimLatencyS)
+
+	if len(snap.costRows) > 0 {
+		p("# HELP inca_cost_model_cells_total Attributed cells per model and dataflow.\n# TYPE inca_cost_model_cells_total counter\n")
+		for _, row := range snap.costRows {
+			p("inca_cost_model_cells_total{model=\"%s\",dataflow=\"%s\"} %d\n",
+				escapeLabel(row.Model), escapeLabel(row.Dataflow), row.Cells)
+		}
+		p("# HELP inca_cost_model_sim_energy_joules_total Modeled energy per model and dataflow.\n# TYPE inca_cost_model_sim_energy_joules_total counter\n")
+		for _, row := range snap.costRows {
+			p("inca_cost_model_sim_energy_joules_total{model=\"%s\",dataflow=\"%s\"} %g\n",
+				escapeLabel(row.Model), escapeLabel(row.Dataflow), row.SimEnergyJ)
+		}
+	}
+
+	if slo := snap.SLO; slo != nil {
+		scalar("inca_slo_objective_p99_seconds", "gauge", "Configured p99 latency objective (0 when latency tracking is off).", slo.TargetP99S)
+		scalar("inca_slo_objective_error_budget", "gauge", "Configured tolerated 5xx fraction (0 when error tracking is off).", slo.ErrorBudget)
+		p("# HELP inca_slo_error_burn_rate Error-budget burn rate per sliding window.\n# TYPE inca_slo_error_burn_rate gauge\n")
+		p("inca_slo_error_burn_rate{window=\"5m\"} %g\n", slo.Fast.ErrorBurn)
+		p("inca_slo_error_burn_rate{window=\"1h\"} %g\n", slo.Slow.ErrorBurn)
+		p("# HELP inca_slo_latency_burn_rate Latency-budget burn rate per sliding window.\n# TYPE inca_slo_latency_burn_rate gauge\n")
+		p("inca_slo_latency_burn_rate{window=\"5m\"} %g\n", slo.Fast.LatencyBurn)
+		p("inca_slo_latency_burn_rate{window=\"1h\"} %g\n", slo.Slow.LatencyBurn)
+		degraded := 0
+		if slo.Status == "degraded" {
+			degraded = 1
+		}
+		scalar("inca_slo_degraded", "gauge", "1 while a burn rate exceeds its threshold (fast >= 14 over 5m, sustained >= 1 over 1h).", degraded)
+	}
 	return err
 }

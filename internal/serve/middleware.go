@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/obs/cost"
 )
 
 // Correlation headers. The request ID is honored on the request so
@@ -68,9 +69,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		// a valid traceparent, else start a fresh one. The response's
 		// traceparent/X-Trace-Id headers and the error body's trace_id
 		// let the caller fetch the trace from /v1/trace/{id} afterwards.
+		ctx := r.Context()
 		var span *obs.Span
 		if t := s.opt.Tracer; t != nil {
-			ctx := r.Context()
 			if traceID, spanID, ok := obs.ParseTraceparent(r.Header.Get(traceparentHeader)); ok {
 				ctx = obs.WithRemoteParent(ctx, traceID, spanID)
 			}
@@ -80,8 +81,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				obs.String("request_id", id))
 			w.Header().Set(traceparentHeader, span.Traceparent())
 			w.Header().Set(traceIDHeader, span.TraceID())
-			r = r.WithContext(ctx)
 		}
+		// Cost tally: every request gets one, traced or not; deeper
+		// layers charge it through the context and the ?cost=1 splice
+		// reads it back when the response is written.
+		ctx, tally := cost.NewContext(ctx)
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
@@ -99,6 +104,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			}
 			d := time.Since(start)
 			s.metrics.observe(sw.status, d)
+			s.slo.observe(sw.status, d)
+			s.usage.addTotals(tally.Snapshot(), false)
 			span.SetAttr(obs.Int("status", sw.status), obs.Int64("bytes", sw.bytes))
 			span.End()
 			s.log.Info("request",

@@ -142,6 +142,14 @@ type Options struct {
 	// quarter of the base hint), so synchronized clients spread their
 	// retries instead of re-stampeding. Zero keeps the exact hint.
 	RetryJitterSeed int64
+	// SLO configures multi-window burn-rate tracking of latency and
+	// error objectives (the -slo-p99/-slo-err flags in cmd/inca-serve).
+	// When enabled, burn rates are served in /metrics and a fast burn
+	// flips /healthz/ready to "degraded" before a hard failure. The
+	// zero value disables tracking.
+	SLO SLOOptions
+	// sloNow overrides the SLO tracker's clock in tests.
+	sloNow func() time.Time
 }
 
 // withDefaults resolves every unset option.
@@ -195,6 +203,11 @@ type Server struct {
 	metrics  *Metrics
 	handler  http.Handler
 	coalesce *coalescer // nil when coalescing is off
+	// usage is the server-lifetime cost ledger (GET /v1/usage,
+	// inca_cost_*); slo is the burn-rate tracker, nil unless objectives
+	// are configured.
+	usage *usageAccount
+	slo   *sloTracker
 	// jitterMu guards jitter, the seeded Retry-After jitter stream; both
 	// are nil/unused when RetryJitterSeed is zero.
 	jitterMu sync.Mutex
@@ -213,6 +226,10 @@ func New(opt Options) *Server {
 		cache:   opt.Cache,
 		admit:   newAdmission(opt.MaxInflight, opt.QueueDepth),
 		metrics: newMetrics(opt.LatencyBuckets),
+		usage:   newUsageAccount(),
+	}
+	if opt.SLO.enabled() {
+		s.slo = newSLOTracker(opt.SLO, opt.sloNow)
 	}
 	if opt.Coalesce.Enabled {
 		s.coalesce = newCoalescer(opt.Coalesce)
@@ -232,7 +249,10 @@ func New(opt Options) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/trace", s.handleTraceIndex)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/shard/trace/{id}", s.handleShardTrace)
+	mux.HandleFunc("GET /v1/usage", s.handleUsage)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/store/export", s.handleStoreExport)
 	mux.HandleFunc("POST /v1/store/import", s.handleStoreImport)

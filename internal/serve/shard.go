@@ -10,6 +10,7 @@ import (
 	"github.com/inca-arch/inca/internal/arch"
 	"github.com/inca-arch/inca/internal/dataflow"
 	"github.com/inca-arch/inca/internal/nn"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/sim"
 	"github.com/inca-arch/inca/internal/sweep"
 )
@@ -195,6 +196,9 @@ func (s *Server) handleShardSweep(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, statusForRunErr(err), err)
 			return
 		}
+		// A shard attributes the cells it ran to its own ledger; the
+		// coordinator attributes the gathered results to the request's.
+		s.accountResults(cost.FromContext(ctx), results)
 		resp := ShardSweepResponse{
 			ShardID: s.opt.ShardID,
 			Cells:   make([]ShardCellResult, 0, len(results)),

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO windows and thresholds. The math is the standard multi-window
+// burn-rate alert: with an objective "99% of requests under TargetP99"
+// the latency error budget is 1% of requests; burn rate is the
+// fraction of the budget the observed bad-request rate consumes per
+// unit time (burn 1.0 = exactly exhausting the budget over the SLO
+// period, burn 14 over 5 minutes = the classic fast-burn page that
+// exhausts a 30-day budget in ~2 days). The short window makes the
+// status flip quickly, the long window keeps it honest against blips.
+const (
+	sloShortWindow = 5 * time.Minute
+	sloLongWindow  = time.Hour
+	// sloBucket is the tracker's time resolution; 1h/10s = 360 buckets.
+	sloBucket = 10 * time.Second
+	// sloFastBurn flips readiness to "degraded" when either burn rate
+	// over the short window reaches it.
+	sloFastBurn = 14.0
+	// sloSlowBurn flips "degraded" when a burn rate sustains >= 1.0
+	// over the long window — the budget is being spent exactly as fast
+	// as it accrues, or faster.
+	sloSlowBurn = 1.0
+	// sloLatencyBudget is the implied error budget of the p99 latency
+	// objective: 1% of requests may exceed TargetP99.
+	sloLatencyBudget = 0.01
+)
+
+// SLOOptions configures burn-rate tracking; the zero value disables it.
+type SLOOptions struct {
+	// TargetP99 is the latency objective: 99% of requests should finish
+	// faster than this. <= 0 disables latency tracking.
+	TargetP99 time.Duration
+	// ErrorBudget is the tolerated fraction of 5xx responses
+	// (e.g. 0.01 = 1%). <= 0 disables error tracking.
+	ErrorBudget float64
+}
+
+func (o SLOOptions) enabled() bool { return o.TargetP99 > 0 || o.ErrorBudget > 0 }
+
+// sloBucketData is one 10-second accounting slice.
+type sloBucketData struct {
+	epoch    int64 // bucket index since the unix epoch; identifies the interval
+	requests int64
+	errors   int64 // 5xx responses
+	slow     int64 // latencies above TargetP99
+}
+
+// sloTracker is the sliding multi-window burn-rate accountant. One
+// observe per finished request, O(buckets) per stats read — both off
+// the request hot path's lock for only nanoseconds.
+type sloTracker struct {
+	opt SLOOptions
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets [int(sloLongWindow / sloBucket)]sloBucketData
+}
+
+func newSLOTracker(opt SLOOptions, now func() time.Time) *sloTracker {
+	if now == nil {
+		now = time.Now
+	}
+	return &sloTracker{opt: opt, now: now}
+}
+
+// observe charges one finished request to the current bucket.
+func (t *sloTracker) observe(status int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	epoch := t.now().UnixNano() / int64(sloBucket)
+	t.mu.Lock()
+	b := &t.buckets[epoch%int64(len(t.buckets))]
+	if b.epoch != epoch {
+		*b = sloBucketData{epoch: epoch}
+	}
+	b.requests++
+	if status >= 500 {
+		b.errors++
+	}
+	if t.opt.TargetP99 > 0 && d > t.opt.TargetP99 {
+		b.slow++
+	}
+	t.mu.Unlock()
+}
+
+// SLOWindow is one window's aggregate, as served in /metrics.
+type SLOWindow struct {
+	WindowS  float64 `json:"window_s"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Slow     int64   `json:"slow"`
+	// ErrorBurn and LatencyBurn are budget burn rates (see slo.go
+	// header); 0 when the corresponding objective is disabled or the
+	// window saw no requests.
+	ErrorBurn   float64 `json:"error_burn"`
+	LatencyBurn float64 `json:"latency_burn"`
+}
+
+// SLOStats is the tracker's exported snapshot.
+type SLOStats struct {
+	TargetP99S  float64   `json:"target_p99_s,omitempty"`
+	ErrorBudget float64   `json:"error_budget,omitempty"`
+	Fast        SLOWindow `json:"fast"` // 5m window
+	Slow        SLOWindow `json:"slow"` // 1h window
+	// Status is "ok" or "degraded" (fast-burn or sustained slow-burn).
+	Status string `json:"status"`
+}
+
+func (t *sloTracker) window(now time.Time, w time.Duration) SLOWindow {
+	out := SLOWindow{WindowS: w.Seconds()}
+	min := now.UnixNano()/int64(sloBucket) - int64(w/sloBucket) + 1
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if b.epoch >= min {
+			out.Requests += b.requests
+			out.Errors += b.errors
+			out.Slow += b.slow
+		}
+	}
+	if out.Requests > 0 {
+		if t.opt.ErrorBudget > 0 {
+			out.ErrorBurn = float64(out.Errors) / float64(out.Requests) / t.opt.ErrorBudget
+		}
+		if t.opt.TargetP99 > 0 {
+			out.LatencyBurn = float64(out.Slow) / float64(out.Requests) / sloLatencyBudget
+		}
+	}
+	return out
+}
+
+// stats snapshots both windows and classifies the status.
+func (t *sloTracker) stats() SLOStats {
+	if t == nil {
+		return SLOStats{}
+	}
+	now := t.now()
+	t.mu.Lock()
+	s := SLOStats{
+		TargetP99S:  t.opt.TargetP99.Seconds(),
+		ErrorBudget: t.opt.ErrorBudget,
+		Fast:        t.window(now, sloShortWindow),
+		Slow:        t.window(now, sloLongWindow),
+	}
+	t.mu.Unlock()
+	s.Status = "ok"
+	if s.Fast.ErrorBurn >= sloFastBurn || s.Fast.LatencyBurn >= sloFastBurn ||
+		s.Slow.ErrorBurn >= sloSlowBurn || s.Slow.LatencyBurn >= sloSlowBurn {
+		s.Status = "degraded"
+	}
+	return s
+}

@@ -150,7 +150,7 @@ func TestTracedSimulateEndToEnd(t *testing.T) {
 	// GET /v1/trace/{id} returns the same spans; ?format=text renders
 	// the tree.
 	resp = get(t, ts.URL+"/v1/trace/"+traceID, nil)
-	var tresp traceResponse
+	var tresp TraceResponse
 	if err := json.Unmarshal(readAll(t, resp), &tresp); err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/inca-arch/inca/internal/obs"
+	"github.com/inca-arch/inca/internal/obs/cost"
 	"github.com/inca-arch/inca/internal/sim"
 )
 
@@ -102,9 +103,11 @@ func (c *Cache) SetTier(t Tier) {
 // the same *sim.Report.
 func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error)) (rep *sim.Report, cached bool, err error) {
 	// Trace tally: the same hit/miss/expired classification the global
-	// counters record, attributed to the span (if any) this call runs
-	// under — one nil check per call when untraced.
+	// counters record, attributed to the span (if any) and the cost
+	// tally (if any) this call runs under — one nil check per call each
+	// when untraced/untallied.
 	span := obs.FromContext(ctx)
+	tally := cost.FromContext(ctx)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
@@ -114,6 +117,7 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 		case <-e.ready:
 			c.hits.Add(1)
 			span.Count("cache.hit", 1)
+			tally.CacheHit()
 			return e.rep, true, e.err
 		default:
 		}
@@ -121,10 +125,12 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 		case <-e.ready:
 			c.hits.Add(1)
 			span.Count("cache.hit", 1)
+			tally.CacheHit()
 			return e.rep, true, e.err
 		case <-ctx.Done():
 			c.expired.Add(1)
 			span.Count("cache.expired", 1)
+			tally.CacheExpired()
 			return nil, false, ctx.Err()
 		}
 	}
@@ -152,6 +158,7 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 		if stored, ok := tier.Get(key.String()); ok {
 			c.diskHits.Add(1)
 			span.Count("cache.disk_hit", 1)
+			tally.CacheDiskHit()
 			e.rep = stored
 			return e.rep, true, nil
 		}
@@ -159,6 +166,7 @@ func (c *Cache) Do(ctx context.Context, key Key, eval func() (*sim.Report, error
 
 	c.misses.Add(1)
 	span.Count("cache.miss", 1)
+	tally.CacheMiss()
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
